@@ -1,0 +1,58 @@
+// Command datagen generates the synthetic datasets used throughout the
+// reproduction and writes them in fvecs format (the interchange format of
+// the ann-benchmarks suite), so they can be inspected, reused, or replaced
+// by the real SIFT/MNIST files.
+//
+// Usage:
+//
+//	datagen -kind sift -n 10000 -o sift.fvecs
+//	datagen -kind moons -n 400 -o moons.fvecs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "sift", "sift | mnist | moons | circles | blobs4 | uniform")
+		n    = flag.Int("n", 10000, "number of vectors")
+		dim  = flag.Int("dim", 32, "dimensions (uniform only)")
+		seed = flag.Int64("seed", 1, "RNG seed")
+		out  = flag.String("o", "", "output fvecs path (required)")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var ds *dataset.Dataset
+	switch *kind {
+	case "sift":
+		ds = dataset.SIFTLike(*n, rng)
+	case "mnist":
+		ds = dataset.MNISTLike(*n, rng)
+	case "moons":
+		ds = dataset.Moons(*n, 0.05, rng).Dataset
+	case "circles":
+		ds = dataset.Circles(*n, 0.5, 0.02, rng).Dataset
+	case "blobs4":
+		ds = dataset.Classification4(*n, rng).Dataset
+	case "uniform":
+		ds = dataset.Uniform(*n, *dim, rng)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+	if err := dataset.SaveFvecsFile(*out, ds); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %d vectors of dim %d to %s\n", ds.N, ds.Dim, *out)
+}

@@ -1,0 +1,81 @@
+// Command uspquery answers k-NN queries against an index written by
+// cmd/usptrain. Queries come from an fvecs file; results are printed one
+// line per query as "id:distance" pairs.
+//
+// Usage:
+//
+//	uspquery -index index.usp -data sift.fvecs -queries q.fvecs -k 10 -probes 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+func main() {
+	var (
+		indexPath = flag.String("index", "", "index file from usptrain (required)")
+		dataPath  = flag.String("data", "", "the fvecs dataset the index was built on (required)")
+		queryPath = flag.String("queries", "", "fvecs query file (required)")
+		k         = flag.Int("k", 10, "neighbors to return")
+		probes    = flag.Int("probes", 1, "bins to probe (m')")
+		union     = flag.Bool("union", false, "union ensemble candidates instead of best-confidence")
+	)
+	flag.Parse()
+	if *indexPath == "" || *dataPath == "" || *queryPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ens, hier, err := core.LoadIndexFile(*indexPath)
+	if err != nil {
+		log.Fatalf("loading index: %v", err)
+	}
+	ds, err := dataset.LoadFvecsFile(*dataPath)
+	if err != nil {
+		log.Fatalf("loading dataset: %v", err)
+	}
+	queries, err := dataset.LoadFvecsFile(*queryPath)
+	if err != nil {
+		log.Fatalf("loading queries: %v", err)
+	}
+	if queries.Dim != ds.Dim {
+		log.Fatalf("query dim %d != dataset dim %d", queries.Dim, ds.Dim)
+	}
+
+	mode := core.BestConfidence
+	if *union {
+		mode = core.UnionProbe
+	}
+	candidates := func(q []float32) []int {
+		if hier != nil {
+			return hier.Candidates(q, *probes)
+		}
+		return ens.Candidates(q, *probes, mode)
+	}
+	start := time.Now()
+	totalCands := 0
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		cands := candidates(q)
+		totalCands += len(cands)
+		ns := knn.SearchSubset(ds, cands, q, *k)
+		fmt.Printf("q%d:", qi)
+		for _, n := range ns {
+			fmt.Printf(" %d:%.4f", n.Index, n.Dist)
+		}
+		fmt.Println()
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(os.Stderr, "%d queries in %s (%.1f us/query, avg |C| %.1f)\n",
+		queries.N, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/float64(queries.N)/1e3,
+		float64(totalCands)/float64(queries.N))
+}

@@ -1,0 +1,103 @@
+// Command usptrain trains a USP partitioning index over an fvecs dataset
+// and writes the serialized ensemble (models + lookup tables) to disk for
+// cmd/uspquery to serve.
+//
+// Usage:
+//
+//	usptrain -data sift.fvecs -bins 16 -ensemble 3 -o index.usp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "input fvecs dataset (required)")
+		out      = flag.String("o", "", "output index path (required)")
+		bins     = flag.Int("bins", 16, "number of partition bins m")
+		ensemble = flag.Int("ensemble", 1, "ensemble size e")
+		hier     = flag.String("hierarchy", "", "comma-separated branching factors (e.g. 16,16); overrides -bins/-ensemble")
+		kPrime   = flag.Int("kprime", 10, "k'-NN matrix width")
+		eta      = flag.Float64("eta", 10, "balance weight")
+		epochs   = flag.Int("epochs", 60, "training epochs")
+		hidden   = flag.Int("hidden", 128, "hidden width (0 = logistic regression)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		verbose  = flag.Bool("v", false, "log per-epoch losses")
+	)
+	flag.Parse()
+	if *dataPath == "" || *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := dataset.LoadFvecsFile(*dataPath)
+	if err != nil {
+		log.Fatalf("loading dataset: %v", err)
+	}
+	fmt.Printf("loaded %d vectors of dim %d\n", ds.N, ds.Dim)
+
+	kp := *kPrime
+	if kp >= ds.N {
+		kp = ds.N - 1
+	}
+	cfg := core.Config{
+		Bins: *bins, KPrime: kp, Eta: *eta, Epochs: *epochs, Seed: *seed,
+	}
+	if *hidden > 0 {
+		cfg.Hidden = []int{*hidden}
+		cfg.Dropout = 0.1
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+
+	if *hier != "" {
+		var levels []int
+		for _, part := range strings.Split(*hier, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 2 {
+				log.Fatalf("bad -hierarchy element %q", part)
+			}
+			levels = append(levels, v)
+		}
+		start := time.Now()
+		h, stats, err := core.TrainHierarchy(ds, levels, cfg)
+		if err != nil {
+			log.Fatalf("training hierarchy: %v", err)
+		}
+		fmt.Printf("trained hierarchy of %d models (%d leaf bins, %d params) in %s\n",
+			len(stats), h.NumBins, h.TotalParams(), time.Since(start).Round(time.Millisecond))
+		if err := core.SaveIndexFile(*out, nil, h); err != nil {
+			log.Fatalf("writing index: %v", err)
+		}
+		fmt.Printf("wrote hierarchical index to %s\n", *out)
+		return
+	}
+
+	start := time.Now()
+	mat := knn.BuildMatrix(ds, kp)
+	fmt.Printf("k'-NN matrix (k'=%d) built in %s\n", kp, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	ens, stats, err := core.TrainEnsemble(ds, mat, cfg, *ensemble)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	fmt.Printf("trained %d model(s), %d params total, in %s\n",
+		ens.Size(), stats.TotalParams(), time.Since(start).Round(time.Millisecond))
+	if err := core.SaveIndexFile(*out, ens, nil); err != nil {
+		log.Fatalf("writing index: %v", err)
+	}
+	fmt.Printf("wrote index to %s\n", *out)
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a USP index over clustered vectors and answer a few
+// approximate nearest-neighbor queries through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	usp "repro"
+)
+
+func main() {
+	// Synthesize 2000 vectors in 32 dimensions: 8 Gaussian clusters, the
+	// kind of embedding geometry the index is designed for.
+	rng := rand.New(rand.NewSource(42))
+	const n, dim, clusters = 2000, 32, 8
+	centers := make([][]float32, clusters)
+	for c := range centers {
+		centers[c] = make([]float32, dim)
+		for j := range centers[c] {
+			centers[c][j] = float32(rng.NormFloat64()) * 3
+		}
+	}
+	vectors := make([][]float32, n)
+	for i := range vectors {
+		c := centers[rng.Intn(clusters)]
+		v := make([]float32, dim)
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64())*0.5
+		}
+		vectors[i] = v
+	}
+
+	// Offline phase: train the unsupervised partitioner (Algorithm 1).
+	fmt.Println("training USP index (16 bins, single model)...")
+	ix, err := usp.Build(vectors, usp.Options{
+		Bins:   16,
+		Epochs: 40,
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ix.Stats()
+	fmt.Printf("index ready: %d vectors, %d bins, %d learnable parameters\n",
+		ix.Len(), st.Bins, st.Params)
+
+	// Online phase (Algorithm 2): probe the most probable bins.
+	query := vectors[7]
+	for _, probes := range []int{1, 2, 4} {
+		cands, _ := ix.CandidateSet(query, usp.SearchOptions{Probes: probes})
+		res, err := ix.Search(query, 5, usp.SearchOptions{Probes: probes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nprobes=%d scanned %d of %d points; top-5:\n", probes, len(cands), ix.Len())
+		for _, r := range res {
+			fmt.Printf("  id=%-5d dist=%.4f\n", r.ID, r.Distance)
+		}
+	}
+}

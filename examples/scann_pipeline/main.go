@@ -1,0 +1,95 @@
+// ScaNN pipeline: the paper's §5.4.3 composition — USP partitions the
+// dataset, the trained model routes each query to a candidate set, and a
+// ScaNN-style anisotropic product quantizer scores the candidates with ADC
+// lookup tables before exact re-ranking. Compares USP+ScaNN against vanilla
+// ScaNN (full quantized scan) and K-means+ScaNN on recall and query time,
+// the Fig. 7 experiment as a standalone program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	usp "repro"
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/knn"
+	"repro/internal/quant"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+	full := dataset.SIFTLike(4200, rng)
+	base, queries := dataset.SplitQueries(full, 200, rng)
+	gt := knn.GroundTruth(base, queries, 10)
+	fmt.Printf("base: %d x %dd, %d queries\n", base.N, base.Dim, queries.N)
+
+	fmt.Println("training anisotropic quantizer (ScaNN)...")
+	scann, err := quant.NewScaNN(base, quant.Config{
+		Subspaces: 8, K: 16, Anisotropic: true, Seed: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training USP partitioner...")
+	ix, err := usp.Build(base.Rows(), usp.Options{
+		Bins: 16, Ensemble: 3, Epochs: 40, Hidden: []int{64}, Seed: 3, Eta: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("fitting K-means partitioner...")
+	km, err := kmeans.NewIndex(base, 16, kmeans.Options{Seed: 4, Restarts: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type pipeline struct {
+		name string
+		cand func(q []float32) []int // nil = full scan
+	}
+	pipelines := []pipeline{
+		{"vanilla ScaNN (full scan)", nil},
+		{"K-means + ScaNN (2 probes)", func(q []float32) []int { return km.Candidates(q, 2) }},
+		{"USP + ScaNN (2 probes)", func(q []float32) []int {
+			c, err := ix.CandidateSet(q, usp.SearchOptions{Probes: 2})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return c
+		}},
+	}
+
+	fmt.Printf("\n%-30s %10s %12s %12s\n", "pipeline", "recall", "us/query", "avg scored")
+	for _, p := range pipelines {
+		var recall, scored float64
+		start := time.Now()
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			var cands []int
+			if p.cand != nil {
+				cands = p.cand(q)
+				scored += float64(len(cands))
+			} else {
+				scored += float64(base.N)
+			}
+			ns := scann.Search(q, 10, cands)
+			ids := make([]int, len(ns))
+			for i, n := range ns {
+				ids[i] = n.Index
+			}
+			recall += knn.Recall(ids, gt[qi])
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-30s %10.4f %12.1f %12.0f\n", p.name,
+			recall/float64(queries.N),
+			float64(elapsed.Nanoseconds())/float64(queries.N)/1e3,
+			scored/float64(queries.N))
+	}
+	fmt.Println("\nthe paper's Fig. 7 story: partitioning first makes ScaNN several")
+	fmt.Println("times faster at matched recall, and USP candidates beat K-means'.")
+}

@@ -1,0 +1,72 @@
+// Package cluster implements the clustering baselines of Table 5 — DBSCAN
+// (Ester et al. 1996) and spectral clustering (Ng, Jordan & Weiss 2001) —
+// together with the external cluster-quality metrics (ARI, NMI, purity) used
+// to score every method against synthetic ground truth, replacing the
+// paper's visual comparison with quantitative scores.
+package cluster
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+// Noise is the label DBSCAN gives to points in no cluster.
+const Noise = -1
+
+// DBSCAN runs density-based clustering with radius eps and density threshold
+// minPts. Labels are 0..k-1 for clusters and Noise (-1) for outliers.
+// Region queries are exhaustive scans: the Table 5 datasets are small 2-D
+// toys, where O(n²) is the appropriate simple implementation.
+func DBSCAN(ds *dataset.Dataset, eps float64, minPts int) []int {
+	eps2 := float32(eps * eps)
+	labels := make([]int, ds.N)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, ds.N)
+
+	regionQuery := func(i int) []int {
+		var out []int
+		row := ds.Row(i)
+		for j := 0; j < ds.N; j++ {
+			if vecmath.SquaredL2(row, ds.Row(j)) <= eps2 {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+
+	next := 0
+	for i := 0; i < ds.N; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		seed := regionQuery(i)
+		if len(seed) < minPts {
+			continue // noise (may later be absorbed as a border point)
+		}
+		c := next
+		next++
+		labels[i] = c
+		// Expand the cluster with a work queue.
+		queue := append([]int(nil), seed...)
+		for len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			if labels[j] == Noise {
+				labels[j] = c // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = c
+			nbrs := regionQuery(j)
+			if len(nbrs) >= minPts {
+				queue = append(queue, nbrs...)
+			}
+		}
+	}
+	return labels
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/vecmath"
+)
+
+// Ensemble is a sequence of complementary partitioners trained with the
+// boosting scheme of Algorithm 3: each model's quality loss re-weights
+// points by how badly all previous models separated their neighborhoods.
+type Ensemble struct {
+	Parts []*Partitioner
+}
+
+// EnsembleStats aggregates per-model training stats.
+type EnsembleStats struct {
+	PerModel []TrainStats
+}
+
+// TotalParams sums learnable parameters across the ensemble.
+func (s EnsembleStats) TotalParams() int {
+	t := 0
+	for _, m := range s.PerModel {
+		t += m.Params
+	}
+	return t
+}
+
+// TrainEnsemble trains e sequential models per Algorithm 3. The first model
+// uses uniform weights; before model j+1, every point's weight is multiplied
+// by the number of its k′ neighbors that partition j separated from it, so
+// later models specialize on the points earlier partitions handled poorly.
+// If every weight collapses to zero (all neighborhoods perfectly preserved),
+// weights reset to uniform for the remaining models.
+func TrainEnsemble(ds *dataset.Dataset, knnMat *knn.Matrix, cfg Config, e int) (*Ensemble, EnsembleStats, error) {
+	if e < 1 {
+		return nil, EnsembleStats{}, fmt.Errorf("core: ensemble size must be ≥ 1, got %d", e)
+	}
+	ens := &Ensemble{}
+	var stats EnsembleStats
+	weights := make([]float32, ds.N)
+	for i := range weights {
+		weights[i] = 1
+	}
+	for j := 0; j < e; j++ {
+		mcfg := cfg
+		mcfg.Seed = cfg.Seed + int64(j)*7919 // distinct init/shuffle per model
+		p, st, err := Train(ds, knnMat, mcfg, weights)
+		if err != nil {
+			return nil, EnsembleStats{}, fmt.Errorf("core: training ensemble model %d: %w", j, err)
+		}
+		ens.Parts = append(ens.Parts, p)
+		stats.PerModel = append(stats.PerModel, st)
+		if j == e-1 {
+			break
+		}
+		// Weight update of Algorithm 3(b): w^{j+1}_i = (#separated) · w^j_i.
+		sep := p.SeparatedNeighbors(knnMat, mcfg.KPrime)
+		var sum float64
+		for i := range weights {
+			weights[i] *= float32(sep[i])
+			sum += float64(weights[i])
+		}
+		if sum == 0 {
+			for i := range weights {
+				weights[i] = 1
+			}
+		} else {
+			// Normalize to mean 1 so η keeps the same relative scale
+			// across ensemble stages.
+			scale := float32(float64(ds.N) / sum)
+			for i := range weights {
+				weights[i] *= scale
+			}
+		}
+	}
+	return ens, stats, nil
+}
+
+// ProbeMode selects how the ensemble combines its models' candidate sets at
+// query time.
+type ProbeMode int
+
+const (
+	// BestConfidence implements Algorithm 4: the single candidate set of
+	// the model whose top bin probability is highest.
+	BestConfidence ProbeMode = iota
+	// UnionProbe unions every model's candidate set (an enhancement we
+	// ablate; it trades larger |C| for higher recall).
+	UnionProbe
+)
+
+// Candidates returns the ensemble's candidate set for q, probing the mPrime
+// most probable bins of the selected model(s).
+func (e *Ensemble) Candidates(q []float32, mPrime int, mode ProbeMode) []int {
+	switch mode {
+	case BestConfidence:
+		best, bestConf := 0, float32(-1)
+		var bestProbs []float32
+		for j, p := range e.Parts {
+			probs := p.Probabilities(q)
+			if c := probs[vecmath.ArgMax(probs)]; c > bestConf {
+				best, bestConf, bestProbs = j, c, probs
+			}
+		}
+		part := e.Parts[best]
+		bins := vecmath.TopKIndices(bestProbs, mPrime)
+		var out []int
+		for _, b := range bins {
+			for _, i := range part.Bins[b] {
+				out = append(out, int(i))
+			}
+		}
+		return out
+	case UnionProbe:
+		seen := make(map[int]struct{})
+		var out []int
+		for _, p := range e.Parts {
+			for _, i := range p.Candidates(q, mPrime) {
+				if _, ok := seen[i]; !ok {
+					seen[i] = struct{}{}
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("core: unknown probe mode %d", mode))
+	}
+}
+
+// Size returns the number of models in the ensemble.
+func (e *Ensemble) Size() int { return len(e.Parts) }

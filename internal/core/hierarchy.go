@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/nn"
+	"repro/internal/vecmath"
+)
+
+// Hierarchy implements the recursive partitioning of §4.4.2: a root model
+// splits the dataset into levels[0] bins, a child model per bin splits its
+// subset into levels[1] bins, and so on, yielding ∏levels leaf bins. A
+// query's leaf-bin probability is the product of the model probabilities
+// along the root→leaf path.
+type Hierarchy struct {
+	Levels  []int
+	NumBins int
+	// Bins is the global leaf lookup table: Bins[g] lists dataset point
+	// indices in leaf bin g (DFS / mixed-radix order).
+	Bins [][]int32
+	// ProbeTemp softens node probabilities (p_b ∝ p_b^{1/T}) before they
+	// are multiplied down the tree. Cross-entropy-trained nodes become
+	// overconfident as weights grow, which collapses the product ranking
+	// deep trees rely on for multi-probe; T in the 2–8 range restores a
+	// usable ordering. 0 or 1 disables softening.
+	ProbeTemp float64
+	root      *hnode
+}
+
+type hnode struct {
+	part     *Partitioner
+	children []*hnode // nil at the last level
+	leafBase int      // first global leaf-bin id under this node
+}
+
+// TrainHierarchy trains the tree of models. levels gives the branching
+// factor per level (the paper's 256-bin configuration is levels = [16, 16];
+// the Fig. 6 logistic-regression trees are ten levels of 2). cfg.Bins is
+// ignored (overridden per level). Subsets too small to train a model are
+// split round-robin by an untrained model, which only arises at depths where
+// candidate sets are already tiny.
+func TrainHierarchy(ds *dataset.Dataset, levels []int, cfg Config) (*Hierarchy, []TrainStats, error) {
+	if len(levels) == 0 {
+		return nil, nil, fmt.Errorf("core: hierarchy needs at least one level")
+	}
+	numBins := 1
+	for _, m := range levels {
+		if m < 2 {
+			return nil, nil, fmt.Errorf("core: branching factors must be ≥ 2, got %v", levels)
+		}
+		numBins *= m
+	}
+	h := &Hierarchy{Levels: levels, NumBins: numBins, Bins: make([][]int32, numBins)}
+	all := make([]int32, ds.N)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	var stats []TrainStats
+	var err error
+	nextLeaf := 0
+	h.root, err = trainNode(ds, all, levels, cfg, &nextLeaf, h, &stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, stats, nil
+}
+
+// trainNode trains the model for one subset and recurses. idx holds global
+// dataset indices of the subset.
+func trainNode(ds *dataset.Dataset, idx []int32, levels []int, cfg Config,
+	nextLeaf *int, h *Hierarchy, stats *[]TrainStats) (*hnode, error) {
+
+	m := levels[0]
+	node := &hnode{leafBase: *nextLeaf}
+	local := make([]int, len(idx))
+	for i, g := range idx {
+		local[i] = int(g)
+	}
+	sub := ds.Subset(local)
+
+	// localBins[b] lists positions within idx assigned to bin b.
+	var localBins [][]int32
+	if sub.N >= 2*m && sub.N > cfg.KPrime && sub.N >= 4 {
+		ncfg := cfg
+		ncfg.Bins = m
+		ncfg.Seed = cfg.Seed + int64(*nextLeaf)*104729
+		kp := ncfg.KPrime
+		if kp >= sub.N {
+			kp = sub.N - 1
+		}
+		mat := knn.BuildMatrix(sub, kp)
+		ncfg.KPrime = kp
+		p, st, err := Train(sub, mat, ncfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: hierarchy node: %w", err)
+		}
+		*stats = append(*stats, st)
+		node.part = p
+		localBins = p.Bins
+	} else {
+		// Degenerate subset: untrained router, round-robin assignment.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(*nextLeaf)))
+		p := &Partitioner{Model: nn.NewLogistic(ds.Dim, m, rng), M: m}
+		p.Assign = make([]int32, sub.N)
+		p.Bins = make([][]int32, m)
+		for i := 0; i < sub.N; i++ {
+			b := int32(i % m)
+			p.Assign[i] = b
+			p.Bins[b] = append(p.Bins[b], int32(i))
+		}
+		node.part = p
+		localBins = p.Bins
+	}
+
+	if len(levels) == 1 {
+		// Leaf level: local bins become consecutive global leaf bins.
+		for b := 0; b < m; b++ {
+			g := *nextLeaf + b
+			for _, li := range localBins[b] {
+				h.Bins[g] = append(h.Bins[g], idx[li])
+			}
+		}
+		*nextLeaf += m
+		return node, nil
+	}
+
+	node.children = make([]*hnode, m)
+	for b := 0; b < m; b++ {
+		childIdx := make([]int32, len(localBins[b]))
+		for i, li := range localBins[b] {
+			childIdx[i] = idx[li]
+		}
+		child, err := trainNode(ds, childIdx, levels[1:], cfg, nextLeaf, h, stats)
+		if err != nil {
+			return nil, err
+		}
+		node.children[b] = child
+	}
+	return node, nil
+}
+
+// LeafProbabilities returns the query's probability for every global leaf
+// bin: the product of (temperature-softened) model outputs along each
+// root→leaf path.
+func (h *Hierarchy) LeafProbabilities(q []float32) []float32 {
+	out := make([]float32, h.NumBins)
+	var walk func(n *hnode, prob float32)
+	walk = func(n *hnode, prob float32) {
+		probs := n.part.Probabilities(q)
+		if h.ProbeTemp > 1 {
+			soften(probs, h.ProbeTemp)
+		}
+		if n.children == nil {
+			for b, pb := range probs {
+				out[n.leafBase+b] = prob * pb
+			}
+			return
+		}
+		for b, child := range n.children {
+			walk(child, prob*probs[b])
+		}
+	}
+	walk(h.root, 1)
+	return out
+}
+
+// QueryBins returns the mPrime globally most probable leaf bins.
+func (h *Hierarchy) QueryBins(q []float32, mPrime int) []int {
+	return vecmath.TopKIndices(h.LeafProbabilities(q), mPrime)
+}
+
+// Candidates returns the union of the lookup lists of the mPrime most
+// probable leaf bins.
+func (h *Hierarchy) Candidates(q []float32, mPrime int) []int {
+	bins := h.QueryBins(q, mPrime)
+	var out []int
+	for _, b := range bins {
+		for _, i := range h.Bins[b] {
+			out = append(out, int(i))
+		}
+	}
+	return out
+}
+
+// soften raises probabilities to the power 1/temp and renormalizes
+// (equivalent to dividing the logits by temp).
+func soften(p []float32, temp float64) {
+	var sum float64
+	for i, v := range p {
+		s := math.Pow(float64(v)+1e-12, 1/temp)
+		p[i] = float32(s)
+		sum += s
+	}
+	inv := float32(1 / sum)
+	for i := range p {
+		p[i] *= inv
+	}
+}
+
+// Assignments returns each point's global leaf bin.
+func (h *Hierarchy) Assignments(n int) []int32 {
+	out := make([]int32, n)
+	for g, pts := range h.Bins {
+		for _, i := range pts {
+			out[i] = int32(g)
+		}
+	}
+	return out
+}
+
+// BinSizes returns the number of points per global leaf bin.
+func (h *Hierarchy) BinSizes() []int {
+	out := make([]int, h.NumBins)
+	for g, pts := range h.Bins {
+		out[g] = len(pts)
+	}
+	return out
+}
+
+// TotalParams sums learnable parameters over all models in the tree.
+func (h *Hierarchy) TotalParams() int {
+	total := 0
+	var walk func(n *hnode)
+	walk = func(n *hnode) {
+		total += n.part.Model.NumParams()
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(h.root)
+	return total
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/vecmath"
+)
+
+// CandidateSource is anything that can produce a candidate set for a query:
+// a single Partitioner, an Ensemble (with a probe mode), or a Hierarchy.
+type CandidateSource interface {
+	Candidates(q []float32, mPrime int) []int
+}
+
+// EnsembleSource adapts an Ensemble plus a ProbeMode to CandidateSource.
+type EnsembleSource struct {
+	*Ensemble
+	Mode ProbeMode
+}
+
+// Candidates implements CandidateSource.
+func (s EnsembleSource) Candidates(q []float32, mPrime int) []int {
+	return s.Ensemble.Candidates(q, mPrime, s.Mode)
+}
+
+// Index couples a dataset with a trained candidate source and answers
+// k-NN queries via the online phase of Algorithm 2.
+type Index struct {
+	Data   *dataset.Dataset
+	Source CandidateSource
+}
+
+// Search returns the k approximate nearest neighbors of q, probing the
+// mPrime most probable bins.
+func (ix *Index) Search(q []float32, k, mPrime int) []vecmath.Neighbor {
+	ns, _ := ix.SearchWithStats(q, k, mPrime)
+	return ns
+}
+
+// SearchWithStats additionally reports the candidate-set size |C(q)|, the
+// computational-cost axis of every figure in the paper.
+func (ix *Index) SearchWithStats(q []float32, k, mPrime int) ([]vecmath.Neighbor, int) {
+	cands := ix.Source.Candidates(q, mPrime)
+	return knn.SearchSubset(ix.Data, cands, q, k), len(cands)
+}
+
+// ClusterLabels trains a single USP model with m = k bins and returns each
+// point's bin as a cluster label — the paper's §5.5 use of the partitioner
+// as a general clustering method.
+func ClusterLabels(ds *dataset.Dataset, k int, cfg Config) ([]int, error) {
+	cfg.Bins = k
+	kp := cfg.KPrime
+	if kp <= 0 {
+		kp = 10
+	}
+	if kp >= ds.N {
+		kp = ds.N - 1
+	}
+	cfg.KPrime = kp
+	mat := knn.BuildMatrix(ds, kp)
+	p, _, err := Train(ds, mat, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]int, ds.N)
+	for i, b := range p.Assign {
+		labels[i] = int(b)
+	}
+	return labels, nil
+}

@@ -1,0 +1,30 @@
+package core
+
+import "repro/internal/vecmath"
+
+// Incremental insertion: new points are routed by the trained model to
+// their most probable bin, exactly as queries are (Algorithm 2 step 2), and
+// appended to the lookup table. The paper trains offline on a static
+// dataset; insertion-by-routing is the natural online extension — the
+// model's decision boundaries are fixed, so an inserted point lands in the
+// bin whose candidates it will later be returned with.
+
+// Insert routes a new point (with the given dataset id) into the partition.
+func (p *Partitioner) Insert(id int, vec []float32) {
+	b := int32(vecmath.ArgMax(p.Probabilities(vec)))
+	p.Assign = append(p.Assign, b)
+	p.Bins[b] = append(p.Bins[b], int32(id))
+}
+
+// Insert routes a new point into every member partition.
+func (e *Ensemble) Insert(id int, vec []float32) {
+	for _, p := range e.Parts {
+		p.Insert(id, vec)
+	}
+}
+
+// Insert routes a new point to its most probable leaf bin.
+func (h *Hierarchy) Insert(id int, vec []float32) {
+	g := vecmath.ArgMax(h.LeafProbabilities(vec))
+	h.Bins[g] = append(h.Bins[g], int32(id))
+}

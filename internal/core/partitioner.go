@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/vecmath"
+)
+
+// Partitioner is one trained USP model together with the lookup table of
+// Algorithm 1 step 3: for every bin, the indices of the dataset points
+// assigned to it.
+type Partitioner struct {
+	Model *nn.Sequential
+	M     int
+	// Assign maps point index → bin.
+	Assign []int32
+	// Bins is the inverted lookup table: Bins[b] lists the points in bin b.
+	Bins [][]int32
+}
+
+// TrainStats reports offline-phase metrics (the quantities of Tables 2–3).
+type TrainStats struct {
+	Duration  time.Duration
+	FinalLoss float64
+	Quality   float64
+	Balance   float64
+	Params    int
+}
+
+// Train learns a partition of ds into cfg.Bins bins using the unsupervised
+// loss. knnMat must be the k′-NN matrix of ds with K ≥ cfg.KPrime (only the
+// first cfg.KPrime columns are consulted). weights are the optional ensemble
+// point weights of Eq. 14 (nil = uniform).
+//
+// Following the reference implementation, the neighbor bin assignments that
+// define the quality-loss targets (Eq. 9) are refreshed once per epoch from
+// a full-dataset inference snapshot rather than recomputed per batch; the
+// targets are treated as constants (stop-gradient), so the per-batch
+// gradient is exactly that of nn.USPLoss.
+func Train(ds *dataset.Dataset, knnMat *knn.Matrix, cfg Config, weights []float32) (*Partitioner, TrainStats, error) {
+	if err := cfg.validate(ds.N); err != nil {
+		return nil, TrainStats{}, err
+	}
+	cfg = cfg.withDefaults(ds.N)
+	if knnMat == nil || len(knnMat.Neighbors) != ds.N {
+		return nil, TrainStats{}, fmt.Errorf("core: k'-NN matrix missing or wrong size")
+	}
+	if knnMat.K < cfg.KPrime {
+		return nil, TrainStats{}, fmt.Errorf("core: k'-NN matrix has K=%d < KPrime=%d", knnMat.K, cfg.KPrime)
+	}
+	if weights != nil && len(weights) != ds.N {
+		return nil, TrainStats{}, fmt.Errorf("core: weights length %d != n=%d", len(weights), ds.N)
+	}
+
+	rng := cfg.rng()
+	var model *nn.Sequential
+	if len(cfg.Hidden) == 0 {
+		model = nn.NewLogistic(ds.Dim, cfg.Bins, rng)
+	} else {
+		model = nn.NewMLP(ds.Dim, cfg.Hidden, cfg.Bins, cfg.Dropout, rng)
+	}
+	opt := nn.NewAdam(cfg.LR)
+
+	start := time.Now()
+	if cfg.TargetGrad {
+		if err := trainTargetGrad(ds, knnMat, cfg, weights, model, opt, rng); err != nil {
+			return nil, TrainStats{}, err
+		}
+		p := &Partitioner{Model: model, M: cfg.Bins}
+		p.buildLookup(ds)
+		return p, TrainStats{
+			Duration: time.Since(start),
+			Params:   model.NumParams(),
+		}, nil
+	}
+	n, m := ds.N, cfg.Bins
+
+	var last nn.LossResult
+	snapshot := make([]int32, n)       // bin assignment of every point, refreshed per epoch
+	probsSnap := (*tensor.Matrix)(nil) // soft-target mode keeps full probability rows
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Refresh the assignment snapshot used for quality targets.
+		probs := predictBatched(model, ds, 4096)
+		if cfg.SoftTargets {
+			probsSnap = probs
+		}
+		for i := 0; i < n; i++ {
+			snapshot[i] = int32(vecmath.ArgMax(probs.Row(i)))
+		}
+
+		perm := rng.Perm(n)
+		var epochLoss, epochQ, epochB float64
+		batches := 0
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			idx := perm[lo:hi]
+			b := len(idx)
+			if b < 2 {
+				continue // balance term degenerate on singleton batches
+			}
+			x := tensor.New(b, ds.Dim)
+			targets := tensor.New(b, m)
+			var w []float32
+			if weights != nil {
+				w = make([]float32, b)
+			}
+			for bi, pi := range idx {
+				copy(x.Row(bi), ds.Row(pi))
+				if weights != nil {
+					w[bi] = weights[pi]
+				}
+				trow := targets.Row(bi)
+				nbrs := knnMat.Neighbors[pi][:cfg.KPrime]
+				if cfg.SoftTargets {
+					for _, nj := range nbrs {
+						prow := probsSnap.Row(int(nj))
+						for j := range trow {
+							trow[j] += prow[j]
+						}
+					}
+				} else {
+					for _, nj := range nbrs {
+						trow[snapshot[nj]]++
+					}
+				}
+				inv := 1 / float32(len(nbrs))
+				for j := range trow {
+					trow[j] *= inv
+				}
+			}
+
+			model.ZeroGrads()
+			logits := model.Forward(x, true)
+			var res nn.LossResult
+			if cfg.EntropyBalance {
+				res = nn.USPLossEntropy(logits, targets, w, cfg.Eta)
+			} else {
+				res = nn.USPLoss(logits, targets, w, cfg.Eta)
+			}
+			model.Backward(res.Grad)
+			opt.Step(model.Params())
+
+			epochLoss += res.Loss
+			epochQ += res.Quality
+			epochB += res.Balance
+			batches++
+			last = res
+		}
+		if cfg.Logf != nil && batches > 0 {
+			cfg.Logf("epoch %3d: loss=%.4f quality=%.4f balance=%.4f",
+				epoch, epochLoss/float64(batches), epochQ/float64(batches), epochB/float64(batches))
+		}
+	}
+
+	p := &Partitioner{Model: model, M: m}
+	p.buildLookup(ds)
+	stats := TrainStats{
+		Duration:  time.Since(start),
+		FinalLoss: last.Loss,
+		Quality:   last.Quality,
+		Balance:   last.Balance,
+		Params:    model.NumParams(),
+	}
+	return p, stats, nil
+}
+
+// buildLookup runs inference over the whole dataset and fills Assign and
+// Bins (Algorithm 1, step 3).
+func (p *Partitioner) buildLookup(ds *dataset.Dataset) {
+	probs := predictBatched(p.Model, ds, 4096)
+	p.Assign = make([]int32, ds.N)
+	p.Bins = make([][]int32, p.M)
+	for i := 0; i < ds.N; i++ {
+		b := int32(vecmath.ArgMax(probs.Row(i)))
+		p.Assign[i] = b
+		p.Bins[b] = append(p.Bins[b], int32(i))
+	}
+}
+
+// predictBatched evaluates the model on every row of ds in chunks, returning
+// the n×m probability matrix.
+func predictBatched(model *nn.Sequential, ds *dataset.Dataset, chunk int) *tensor.Matrix {
+	out := tensor.New(ds.N, model.OutDim())
+	for lo := 0; lo < ds.N; lo += chunk {
+		hi := lo + chunk
+		if hi > ds.N {
+			hi = ds.N
+		}
+		x := tensor.FromSlice(hi-lo, ds.Dim, ds.Data[lo*ds.Dim:hi*ds.Dim])
+		p := model.Predict(x)
+		copy(out.Data[lo*out.Cols:hi*out.Cols], p.Data)
+	}
+	return out
+}
+
+// Probabilities returns the model's bin distribution for a query point.
+func (p *Partitioner) Probabilities(q []float32) []float32 {
+	return p.Model.PredictVec(q)
+}
+
+// QueryBins returns the mPrime most probable bins for q (Alg. 2, step 2).
+func (p *Partitioner) QueryBins(q []float32, mPrime int) []int {
+	return vecmath.TopKIndices(p.Probabilities(q), mPrime)
+}
+
+// Candidates returns the candidate set C(q): the union of the lookup-table
+// lists of the mPrime most probable bins.
+func (p *Partitioner) Candidates(q []float32, mPrime int) []int {
+	bins := p.QueryBins(q, mPrime)
+	total := 0
+	for _, b := range bins {
+		total += len(p.Bins[b])
+	}
+	out := make([]int, 0, total)
+	for _, b := range bins {
+		for _, i := range p.Bins[b] {
+			out = append(out, int(i))
+		}
+	}
+	return out
+}
+
+// BinSizes returns the number of points per bin (partition balance
+// diagnostics).
+func (p *Partitioner) BinSizes() []int {
+	out := make([]int, p.M)
+	for b, pts := range p.Bins {
+		out[b] = len(pts)
+	}
+	return out
+}
+
+// SeparatedNeighbors returns, for every point i, the number of its first
+// kPrime neighbors assigned to a different bin than i — the per-point
+// quality cost of Eq. 2 and the raw ensemble weight update of Algorithm 3.
+func (p *Partitioner) SeparatedNeighbors(knnMat *knn.Matrix, kPrime int) []int {
+	if kPrime > knnMat.K {
+		kPrime = knnMat.K
+	}
+	out := make([]int, len(p.Assign))
+	for i := range p.Assign {
+		cnt := 0
+		for _, nj := range knnMat.Neighbors[i][:kPrime] {
+			if p.Assign[nj] != p.Assign[i] {
+				cnt++
+			}
+		}
+		out[i] = cnt
+	}
+	return out
+}

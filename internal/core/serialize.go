@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/nn"
+)
+
+// ensembleSpec is the gob-encodable snapshot of an Ensemble: each member's
+// serialized network plus its lookup table.
+type ensembleSpec struct {
+	Parts []partSpec
+}
+
+type partSpec struct {
+	Model  []byte
+	M      int
+	Assign []int32
+	Bins   [][]int32
+}
+
+// SaveEnsemble writes a trained ensemble (models and lookup tables) to w.
+func SaveEnsemble(w io.Writer, e *Ensemble) error {
+	var spec ensembleSpec
+	for _, p := range e.Parts {
+		var buf bytes.Buffer
+		if err := p.Model.Save(&buf); err != nil {
+			return fmt.Errorf("core: serializing model: %w", err)
+		}
+		spec.Parts = append(spec.Parts, partSpec{
+			Model: buf.Bytes(), M: p.M, Assign: p.Assign, Bins: p.Bins,
+		})
+	}
+	return gob.NewEncoder(w).Encode(spec)
+}
+
+// Index files written by cmd/usptrain start with a magic line identifying
+// the index kind, followed by the gob payload.
+const (
+	magicEnsemble  = "usp-index:ensemble\n"
+	magicHierarchy = "usp-index:hierarchy\n"
+)
+
+// SaveIndexFile writes either an ensemble or a hierarchy (exactly one must
+// be non-nil) to path with a kind header for LoadIndexFile.
+func SaveIndexFile(path string, ens *Ensemble, hier *Hierarchy) error {
+	if (ens == nil) == (hier == nil) {
+		return fmt.Errorf("core: SaveIndexFile needs exactly one of ensemble/hierarchy")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if ens != nil {
+		if _, err := io.WriteString(f, magicEnsemble); err != nil {
+			return err
+		}
+		if err := SaveEnsemble(f, ens); err != nil {
+			return err
+		}
+	} else {
+		if _, err := io.WriteString(f, magicHierarchy); err != nil {
+			return err
+		}
+		if err := SaveHierarchy(f, hier); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// LoadIndexFile reads an index written by SaveIndexFile; exactly one of the
+// returned pointers is non-nil.
+func LoadIndexFile(path string) (*Ensemble, *Hierarchy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.ReadString('\n')
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	switch magic {
+	case magicEnsemble:
+		ens, err := LoadEnsemble(br)
+		return ens, nil, err
+	case magicHierarchy:
+		hier, err := LoadHierarchy(br)
+		return nil, hier, err
+	default:
+		return nil, nil, fmt.Errorf("core: unrecognized index header %q", magic)
+	}
+}
+
+// hierSpec snapshots a Hierarchy: the node tree with serialized models plus
+// the global leaf table.
+type hierSpec struct {
+	Levels    []int
+	NumBins   int
+	Bins      [][]int32
+	ProbeTemp float64
+	Root      hnodeSpec
+}
+
+type hnodeSpec struct {
+	Model    []byte
+	M        int
+	Assign   []int32
+	Bins     [][]int32
+	LeafBase int
+	Children []hnodeSpec
+}
+
+// SaveHierarchy writes a trained hierarchy to w.
+func SaveHierarchy(w io.Writer, h *Hierarchy) error {
+	spec := hierSpec{
+		Levels: h.Levels, NumBins: h.NumBins, Bins: h.Bins, ProbeTemp: h.ProbeTemp,
+	}
+	var snap func(n *hnode) (hnodeSpec, error)
+	snap = func(n *hnode) (hnodeSpec, error) {
+		var buf bytes.Buffer
+		if err := n.part.Model.Save(&buf); err != nil {
+			return hnodeSpec{}, fmt.Errorf("core: serializing hierarchy model: %w", err)
+		}
+		ns := hnodeSpec{
+			Model: buf.Bytes(), M: n.part.M,
+			Assign: n.part.Assign, Bins: n.part.Bins, LeafBase: n.leafBase,
+		}
+		for _, c := range n.children {
+			cs, err := snap(c)
+			if err != nil {
+				return hnodeSpec{}, err
+			}
+			ns.Children = append(ns.Children, cs)
+		}
+		return ns, nil
+	}
+	root, err := snap(h.root)
+	if err != nil {
+		return err
+	}
+	spec.Root = root
+	return gob.NewEncoder(w).Encode(spec)
+}
+
+// LoadHierarchy reads a hierarchy previously written by SaveHierarchy.
+func LoadHierarchy(r io.Reader) (*Hierarchy, error) {
+	var spec hierSpec
+	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("core: decoding hierarchy: %w", err)
+	}
+	if spec.NumBins == 0 {
+		return nil, fmt.Errorf("core: hierarchy snapshot is empty")
+	}
+	var restore func(ns hnodeSpec, depth int) (*hnode, error)
+	restore = func(ns hnodeSpec, depth int) (*hnode, error) {
+		model, err := nn.Load(bytes.NewReader(ns.Model), rand.New(rand.NewSource(int64(ns.LeafBase))))
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding hierarchy model: %w", err)
+		}
+		n := &hnode{
+			part:     &Partitioner{Model: model, M: ns.M, Assign: ns.Assign, Bins: ns.Bins},
+			leafBase: ns.LeafBase,
+		}
+		for _, cs := range ns.Children {
+			c, err := restore(cs, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			n.children = append(n.children, c)
+		}
+		return n, nil
+	}
+	root, err := restore(spec.Root, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{
+		Levels: spec.Levels, NumBins: spec.NumBins, Bins: spec.Bins,
+		ProbeTemp: spec.ProbeTemp, root: root,
+	}, nil
+}
+
+// LoadEnsemble reads an ensemble previously written by SaveEnsemble.
+func LoadEnsemble(r io.Reader) (*Ensemble, error) {
+	var spec ensembleSpec
+	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("core: decoding ensemble: %w", err)
+	}
+	if len(spec.Parts) == 0 {
+		return nil, fmt.Errorf("core: ensemble snapshot holds no models")
+	}
+	e := &Ensemble{}
+	for i, ps := range spec.Parts {
+		model, err := nn.Load(bytes.NewReader(ps.Model), rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding model %d: %w", i, err)
+		}
+		e.Parts = append(e.Parts, &Partitioner{
+			Model: model, M: ps.M, Assign: ps.Assign, Bins: ps.Bins,
+		})
+	}
+	return e, nil
+}

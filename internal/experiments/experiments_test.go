@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the full-pipeline tests fast: every experiment still
+// exercises its real code path end to end.
+func tinyScale() Scale {
+	return Scale{
+		SIFTN: 500, MNISTN: 400, Queries: 30,
+		Epochs: 6, Ensemble: 2, Hidden: 16, NLSHHidden: 16,
+		TreeDepth: 3, Seed: 1,
+	}
+}
+
+func TestIDsStableAndComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{
+		"fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig7a", "fig7b",
+		"table2", "table3", "table4", "table5",
+		"ablation_arch", "ablation_balance", "ablation_batch",
+		"ablation_ensemble", "ablation_eta", "ablation_kprime",
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("have %d ids: %v", len(ids), ids)
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Fatalf("missing id %s", w)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", tinyScale(), nil); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestProbeSchedule(t *testing.T) {
+	ps := probeSchedule(16)
+	if ps[0] != 1 || ps[len(ps)-1] != 16 {
+		t.Fatalf("schedule %v", ps)
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i] <= ps[i-1] {
+			t.Fatalf("schedule not strictly increasing: %v", ps)
+		}
+	}
+}
+
+func TestEtaFor(t *testing.T) {
+	if etaFor("mnist", 256) != 30 || etaFor("sift", 256) != 10 ||
+		etaFor("sift", 16) != 7 || etaFor("mnist", 16) != 7 {
+		t.Fatal("etaFor does not match Table 3")
+	}
+}
+
+func TestFig5EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pipeline")
+	}
+	rep, err := Run("fig5a", tinyScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 4 {
+		t.Fatalf("series = %d", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		last := s.Points[len(s.Points)-1]
+		// Probing all bins must reach recall 1 with |C| = n.
+		if last.Recall != 1 {
+			t.Fatalf("%s: full-probe recall %v", s.Name, last.Recall)
+		}
+	}
+	if !strings.Contains(rep.Text, "Fig 5") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestFig6EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pipeline")
+	}
+	rep, err := Run("fig6a", tinyScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 7 {
+		t.Fatalf("series = %d (want 7 tree methods)", len(rep.Series))
+	}
+}
+
+func TestFig7EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pipeline")
+	}
+	rep, err := Run("fig7a", tinyScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != 5 {
+		t.Fatalf("series = %d (want 5 ANNS methods)", len(rep.Series))
+	}
+	// Vanilla ScaNN scans everything: recall must be high.
+	for _, s := range rep.Series {
+		if s.Name == "ScaNN (vanilla)" && s.Points[0].Recall < 0.75 {
+			t.Fatalf("vanilla ScaNN recall %v", s.Points[0].Recall)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rep, err := Run("table2", tinyScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Neural LSH", "USP (ours)", "K-means", "32768"} {
+		if !strings.Contains(rep.Text, frag) {
+			t.Fatalf("table2 missing %q:\n%s", frag, rep.Text)
+		}
+	}
+}
+
+func TestTable4EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pipeline")
+	}
+	rep, err := Run("table4", tinyScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "reduction vs Neural LSH") {
+		t.Fatalf("table4 text:\n%s", rep.Text)
+	}
+}
+
+func TestTable5EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment pipeline")
+	}
+	rep, err := Run("table5", tinyScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"moons", "circles", "blobs4", "DBSCAN", "Spectral"} {
+		if !strings.Contains(rep.Text, frag) {
+			t.Fatalf("table5 missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package graphpart
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph builds a connected-ish random graph: a Hamiltonian path plus
+// extra random edges, with random vertex weights.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(int32(v-1), int32(v), float32(1+rng.Intn(3)))
+	}
+	extra := n * 2
+	for e := 0; e < extra; e++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, float32(1+rng.Intn(3)))
+		}
+	}
+	return g
+}
+
+// Every vertex gets a part id in [0, parts), and every part is non-empty
+// for graphs comfortably larger than the part count.
+func TestPartitionCoverageProperty(t *testing.T) {
+	check := func(seed int64, partsRaw, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parts := int(partsRaw)%6 + 2
+		n := parts*20 + int(nRaw)%100
+		g := randomGraph(rng, n)
+		part := Partition(g, parts, 0.15, seed)
+		if len(part) != n {
+			return false
+		}
+		counts := make([]int, parts)
+		for _, p := range part {
+			if p < 0 || int(p) >= parts {
+				return false
+			}
+			counts[p]++
+		}
+		for _, c := range counts {
+			if c == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The FM refinement must never worsen the cut produced by the initial
+// region growing: refining a random bisection again is a no-op or better.
+func TestRefinementMonotoneProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(200)
+		g := randomGraph(rng, n)
+		part := Partition(g, 2, 0.1, seed)
+		before := CutWeight(g, part)
+		cp := append([]int32(nil), part...)
+		fmRefine(g, cp, 0.5, 0.1, 3)
+		return CutWeight(g, cp) <= before+1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Partition balance: each side of a bisection stays within the epsilon
+// bound the refinement enforces (plus the slack the initial growing allows
+// on pathological graphs).
+func TestBisectionBalanceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(200)
+		g := randomGraph(rng, n)
+		part := Partition(g, 2, 0.1, seed)
+		var w0, total int64
+		for v := 0; v < g.N; v++ {
+			total += int64(g.NodeW[v])
+			if part[v] == 0 {
+				w0 += int64(g.NodeW[v])
+			}
+		}
+		frac := float64(w0) / float64(total)
+		return frac > 0.3 && frac < 0.7
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package ivfpq implements the FAISS-style inverted-file indexes used as the
+// "FAISS" baseline in Fig. 7: a k-means coarse quantizer routes each vector
+// to one of nlist inverted lists; queries scan the nprobe nearest lists
+// either with exact distances (IVF-Flat) or with a product quantizer over
+// residuals and per-list ADC lookup tables (IVF-PQ), followed by exact
+// re-ranking.
+package ivfpq
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/quant"
+	"repro/internal/vecmath"
+)
+
+// Config controls index construction.
+type Config struct {
+	// NList is the number of inverted lists (coarse centroids).
+	NList int
+	// UsePQ enables residual product quantization (IVF-PQ); otherwise the
+	// index stores raw vectors (IVF-Flat).
+	UsePQ bool
+	// PQ configures the residual quantizer when UsePQ is set.
+	PQ quant.Config
+	// Rerank is the number of PQ-stage survivors re-scored exactly
+	// (default 10·k at query time).
+	Rerank int
+	// Seed drives coarse clustering.
+	Seed int64
+}
+
+// Index is a built IVF index.
+type Index struct {
+	cfg    Config
+	data   *dataset.Dataset
+	coarse *kmeans.Result
+	lists  [][]int32
+	pq     *quant.PQ
+	codes  [][]uint8 // residual codes, aligned with dataset ids
+}
+
+// Build constructs the index over ds.
+func Build(ds *dataset.Dataset, cfg Config) (*Index, error) {
+	if cfg.NList <= 0 {
+		return nil, fmt.Errorf("ivfpq: NList must be positive")
+	}
+	coarse, err := kmeans.Run(ds, cfg.NList, kmeans.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("ivfpq: coarse quantizer: %w", err)
+	}
+	ix := &Index{cfg: cfg, data: ds, coarse: coarse, lists: make([][]int32, cfg.NList)}
+	for i, c := range coarse.Assign {
+		ix.lists[c] = append(ix.lists[c], int32(i))
+	}
+	if cfg.UsePQ {
+		// Train the PQ on residuals r = x − centroid(x).
+		resid := dataset.New(ds.N, ds.Dim)
+		for i := 0; i < ds.N; i++ {
+			vecmath.Sub(resid.Row(i), ds.Row(i), coarse.Centroids.Row(int(coarse.Assign[i])))
+		}
+		pq, err := quant.Train(resid, cfg.PQ)
+		if err != nil {
+			return nil, fmt.Errorf("ivfpq: residual quantizer: %w", err)
+		}
+		ix.pq = pq
+		ix.codes = pq.Encode(resid)
+	}
+	return ix, nil
+}
+
+// Search returns the k approximate nearest neighbors of q scanning nprobe
+// inverted lists. Distances are squared L2.
+func (ix *Index) Search(q []float32, k, nprobe int) []vecmath.Neighbor {
+	probes := ix.coarse.NearestK(q, nprobe)
+	if ix.pq == nil {
+		tk := vecmath.NewTopK(k)
+		for _, c := range probes {
+			for _, i := range ix.lists[c] {
+				tk.Push(int(i), vecmath.SquaredL2(q, ix.data.Row(int(i))))
+			}
+		}
+		return tk.Sorted()
+	}
+	rerank := ix.cfg.Rerank
+	if rerank == 0 {
+		rerank = 10 * k
+	}
+	if rerank < k {
+		rerank = k
+	}
+	stage1 := vecmath.NewTopK(rerank)
+	resid := make([]float32, ix.data.Dim)
+	for _, c := range probes {
+		// Per-list LUT over the query's residual against this centroid.
+		vecmath.Sub(resid, q, ix.coarse.Centroids.Row(c))
+		lut := ix.pq.BuildLUT(resid)
+		for _, i := range ix.lists[c] {
+			stage1.Push(int(i), lut.Distance(ix.codes[i]))
+		}
+	}
+	stage2 := vecmath.NewTopK(k)
+	for _, nb := range stage1.Sorted() {
+		stage2.Push(nb.Index, vecmath.SquaredL2(q, ix.data.Row(nb.Index)))
+	}
+	return stage2.Sorted()
+}
+
+// CandidateCount reports how many stored vectors the nprobe nearest lists
+// hold for q (the |C| axis used in the evaluation).
+func (ix *Index) CandidateCount(q []float32, nprobe int) int {
+	total := 0
+	for _, c := range ix.coarse.NearestK(q, nprobe) {
+		total += len(ix.lists[c])
+	}
+	return total
+}

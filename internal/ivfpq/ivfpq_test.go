@@ -1,0 +1,103 @@
+package ivfpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/quant"
+)
+
+func blobs(seed int64, n, dim int) *dataset.Dataset {
+	return dataset.GaussianMixture(dataset.GaussianMixtureConfig{
+		N: n, Dim: dim, Clusters: 10, ClusterStd: 0.2, CenterBox: 3,
+	}, rand.New(rand.NewSource(seed))).Dataset
+}
+
+func TestIVFFlatExactWithinProbedLists(t *testing.T) {
+	ds := blobs(1, 600, 16)
+	ix, err := Build(ds, Config{NList: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probing all lists makes IVF-Flat exact.
+	gt := knn.GroundTruth(ds, ds, 10)
+	for qi := 0; qi < 30; qi++ {
+		ns := ix.Search(ds.Row(qi), 10, 8)
+		if r := knn.RecallNeighbors(ns, gt[qi]); r != 1 {
+			t.Fatalf("query %d: full-probe recall %v", qi, r)
+		}
+	}
+}
+
+func TestIVFFlatRecallGrowsWithProbes(t *testing.T) {
+	ds := blobs(3, 800, 16)
+	ix, err := Build(ds, Config{NList: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := blobs(5, 40, 16)
+	gt := knn.GroundTruth(ds, queries, 10)
+	recallAt := func(np int) float64 {
+		var r float64
+		for qi := 0; qi < queries.N; qi++ {
+			r += knn.RecallNeighbors(ix.Search(queries.Row(qi), 10, np), gt[qi])
+		}
+		return r / float64(queries.N)
+	}
+	r1, r8 := recallAt(1), recallAt(8)
+	if r8 < r1 {
+		t.Fatalf("recall fell with more probes: %.3f -> %.3f", r1, r8)
+	}
+	if r8 < 0.85 {
+		t.Fatalf("recall@8 probes = %.3f", r8)
+	}
+}
+
+func TestIVFPQReasonableRecallWithRerank(t *testing.T) {
+	ds := blobs(6, 800, 16)
+	ix, err := Build(ds, Config{
+		NList: 8, UsePQ: true, Seed: 7,
+		PQ: quant.Config{Subspaces: 4, K: 16, Seed: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := knn.GroundTruth(ds, ds, 10)
+	var recall float64
+	for qi := 0; qi < 40; qi++ {
+		ns := ix.Search(ds.Row(qi), 10, 4)
+		recall += knn.RecallNeighbors(ns, gt[qi])
+	}
+	recall /= 40
+	if recall < 0.7 {
+		t.Fatalf("IVF-PQ recall %.3f", recall)
+	}
+}
+
+func TestCandidateCount(t *testing.T) {
+	ds := blobs(9, 300, 8)
+	ix, err := Build(ds, Config{NList: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Row(0)
+	if got := ix.CandidateCount(q, 4); got != ds.N {
+		t.Fatalf("all-list candidate count %d, want %d", got, ds.N)
+	}
+	c1, c2 := ix.CandidateCount(q, 1), ix.CandidateCount(q, 2)
+	if c2 < c1 {
+		t.Fatal("candidate count must grow with probes")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	ds := blobs(11, 50, 8)
+	if _, err := Build(ds, Config{NList: 0}); err == nil {
+		t.Fatal("NList=0 should fail")
+	}
+	if _, err := Build(ds, Config{NList: 4, UsePQ: true, PQ: quant.Config{Subspaces: 0}}); err == nil {
+		t.Fatal("bad PQ config should fail")
+	}
+}

@@ -1,0 +1,278 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding, an
+// optional mini-batch mode for large inputs, and the K-means partitioning
+// index used as a baseline throughout the paper's evaluation (it is also the
+// partitioner inside ScaNN and FAISS-IVF, which internal/quant and
+// internal/ivfpq reuse).
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/par"
+	"repro/internal/vecmath"
+)
+
+// Options configures a clustering run.
+type Options struct {
+	// MaxIters bounds Lloyd iterations (default 25).
+	MaxIters int
+	// Tol stops early when the relative decrease of the objective falls
+	// below it (default 1e-4).
+	Tol float64
+	// Seed drives seeding and mini-batch sampling.
+	Seed int64
+	// MiniBatch, when > 0, switches to mini-batch updates with that batch
+	// size (Sculley 2010), used for the large hierarchical sweeps.
+	MiniBatch int
+	// Restarts runs the whole algorithm this many times with different
+	// seeds and keeps the lowest-inertia result (default 1).
+	Restarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 25
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-4
+	}
+	return o
+}
+
+// Result holds fitted centroids and the assignment of every input point.
+type Result struct {
+	K         int
+	Centroids *dataset.Dataset
+	Assign    []int32
+	// Inertia is the final sum of squared distances to assigned centroids.
+	Inertia float64
+}
+
+// Run clusters ds into k groups.
+func Run(ds *dataset.Dataset, k int, opt Options) (*Result, error) {
+	if k <= 0 || k > ds.N {
+		return nil, fmt.Errorf("kmeans: k=%d out of range for n=%d", k, ds.N)
+	}
+	if opt.Restarts > 1 {
+		var best *Result
+		for r := 0; r < opt.Restarts; r++ {
+			o := opt
+			o.Restarts = 1
+			o.Seed = opt.Seed + int64(r)*6151
+			res, err := Run(ds, k, o)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || res.Inertia < best.Inertia {
+				best = res
+			}
+		}
+		return best, nil
+	}
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	cents := seedPlusPlus(ds, k, rng)
+	if opt.MiniBatch > 0 {
+		runMiniBatch(ds, cents, k, opt, rng)
+	}
+	assign := make([]int32, ds.N)
+	prev := math.Inf(1)
+	var inertia float64
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		inertia = assignAll(ds, cents, assign)
+		updateCentroids(ds, cents, assign, k, rng)
+		if prev-inertia <= opt.Tol*prev {
+			break
+		}
+		prev = inertia
+	}
+	inertia = assignAll(ds, cents, assign)
+	return &Result{K: k, Centroids: cents, Assign: assign, Inertia: inertia}, nil
+}
+
+// seedPlusPlus performs k-means++ initialization (Arthur & Vassilvitskii).
+func seedPlusPlus(ds *dataset.Dataset, k int, rng *rand.Rand) *dataset.Dataset {
+	cents := dataset.New(k, ds.Dim)
+	first := rng.Intn(ds.N)
+	copy(cents.Row(0), ds.Row(first))
+	d2 := make([]float64, ds.N)
+	for i := range d2 {
+		d2[i] = float64(vecmath.SquaredL2(ds.Row(i), cents.Row(0)))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(ds.N) // all points coincide with centroids
+		} else {
+			r := rng.Float64() * total
+			for i, d := range d2 {
+				r -= d
+				if r <= 0 {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cents.Row(c), ds.Row(pick))
+		par.ForChunks(ds.N, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := float64(vecmath.SquaredL2(ds.Row(i), cents.Row(c))); d < d2[i] {
+					d2[i] = d
+				}
+			}
+		})
+	}
+	return cents
+}
+
+// assignAll assigns each point to its nearest centroid and returns the
+// objective.
+func assignAll(ds *dataset.Dataset, cents *dataset.Dataset, assign []int32) float64 {
+	return par.MapReduce(ds.N, func(lo, hi int) float64 {
+		var local float64
+		for i := lo; i < hi; i++ {
+			row := ds.Row(i)
+			best, bi := float32(math.MaxFloat32), 0
+			for c := 0; c < cents.N; c++ {
+				if d := vecmath.SquaredL2(row, cents.Row(c)); d < best {
+					best, bi = d, c
+				}
+			}
+			assign[i] = int32(bi)
+			local += float64(best)
+		}
+		return local
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// updateCentroids recomputes centroids as the means of their members;
+// empty clusters are re-seeded at a random point.
+func updateCentroids(ds *dataset.Dataset, cents *dataset.Dataset, assign []int32, k int, rng *rand.Rand) {
+	acc := make([]float64, k*ds.Dim)
+	counts := make([]int, k)
+	for i := 0; i < ds.N; i++ {
+		c := int(assign[i])
+		counts[c]++
+		row := ds.Row(i)
+		base := c * ds.Dim
+		for j, v := range row {
+			acc[base+j] += float64(v)
+		}
+	}
+	for c := 0; c < k; c++ {
+		crow := cents.Row(c)
+		if counts[c] == 0 {
+			copy(crow, ds.Row(rng.Intn(ds.N)))
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		base := c * ds.Dim
+		for j := range crow {
+			crow[j] = float32(acc[base+j] * inv)
+		}
+	}
+}
+
+// runMiniBatch refines seeded centroids with mini-batch k-means before the
+// full Lloyd polish.
+func runMiniBatch(ds *dataset.Dataset, cents *dataset.Dataset, k int, opt Options, rng *rand.Rand) {
+	counts := make([]float64, k)
+	for iter := 0; iter < opt.MaxIters*4; iter++ {
+		for b := 0; b < opt.MiniBatch; b++ {
+			i := rng.Intn(ds.N)
+			row := ds.Row(i)
+			best, bi := float32(math.MaxFloat32), 0
+			for c := 0; c < k; c++ {
+				if d := vecmath.SquaredL2(row, cents.Row(c)); d < best {
+					best, bi = d, c
+				}
+			}
+			counts[bi]++
+			lr := float32(1 / counts[bi])
+			crow := cents.Row(bi)
+			for j, v := range row {
+				crow[j] += lr * (v - crow[j])
+			}
+		}
+	}
+}
+
+// Nearest returns the index of the centroid closest to q.
+func (r *Result) Nearest(q []float32) int {
+	best, bi := float32(math.MaxFloat32), 0
+	for c := 0; c < r.Centroids.N; c++ {
+		if d := vecmath.SquaredL2(q, r.Centroids.Row(c)); d < best {
+			best, bi = d, c
+		}
+	}
+	return bi
+}
+
+// NearestK returns the indices of the mPrime closest centroids to q in
+// ascending distance order.
+func (r *Result) NearestK(q []float32, mPrime int) []int {
+	tk := vecmath.NewTopK(minInt(mPrime, r.Centroids.N))
+	for c := 0; c < r.Centroids.N; c++ {
+		tk.Push(c, vecmath.SquaredL2(q, r.Centroids.Row(c)))
+	}
+	sorted := tk.Sorted()
+	out := make([]int, len(sorted))
+	for i, nb := range sorted {
+		out[i] = nb.Index
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Index is the K-means space-partitioning baseline: points are bucketed by
+// nearest centroid and queries probe the mPrime nearest centroids' buckets.
+type Index struct {
+	Result *Result
+	Bins   [][]int32
+}
+
+// NewIndex clusters ds and builds the inverted bin lists.
+func NewIndex(ds *dataset.Dataset, k int, opt Options) (*Index, error) {
+	res, err := Run(ds, k, opt)
+	if err != nil {
+		return nil, err
+	}
+	bins := make([][]int32, k)
+	for i, c := range res.Assign {
+		bins[c] = append(bins[c], int32(i))
+	}
+	return &Index{Result: res, Bins: bins}, nil
+}
+
+// Candidates implements the shared candidate-source contract.
+func (ix *Index) Candidates(q []float32, mPrime int) []int {
+	var out []int
+	for _, c := range ix.Result.NearestK(q, mPrime) {
+		for _, i := range ix.Bins[c] {
+			out = append(out, int(i))
+		}
+	}
+	return out
+}
+
+// BinSizes returns the per-bin point counts.
+func (ix *Index) BinSizes() []int {
+	out := make([]int, len(ix.Bins))
+	for i, b := range ix.Bins {
+		out[i] = len(b)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestBuildMatrixApproxRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := dataset.GaussianMixture(dataset.GaussianMixtureConfig{
+		N: 1500, Dim: 16, Clusters: 12, ClusterStd: 0.5, CenterBox: 3,
+	}, rng)
+	exact := BuildMatrix(l.Dataset, 10)
+	approx := BuildMatrixApprox(l.Dataset, 10, ApproxConfig{Seed: 2})
+
+	var recall float64
+	for i := 0; i < l.N; i++ {
+		if len(approx.Neighbors[i]) != 10 {
+			t.Fatalf("point %d has %d neighbors", i, len(approx.Neighbors[i]))
+		}
+		recall += Recall(toIntSlice(approx.Neighbors[i]), exact.Neighbors[i])
+	}
+	recall /= float64(l.N)
+	if recall < 0.9 {
+		t.Fatalf("approximate k-NN recall %.3f vs exact, want ≥ 0.9", recall)
+	}
+}
+
+func TestBuildMatrixApproxInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := dataset.Uniform(300, 8, rng)
+	m := BuildMatrixApprox(ds, 5, ApproxConfig{Seed: 4, Trees: 4, Iters: 5})
+	for i, row := range m.Neighbors {
+		if len(row) != 5 {
+			t.Fatalf("point %d: %d neighbors", i, len(row))
+		}
+		seen := map[int32]bool{}
+		for _, j := range row {
+			if int(j) == i {
+				t.Fatalf("point %d is its own neighbor", i)
+			}
+			if seen[j] {
+				t.Fatalf("point %d lists %d twice", i, j)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+func TestBuildMatrixApproxPanicsOnBadK(t *testing.T) {
+	ds := dataset.Uniform(10, 2, rand.New(rand.NewSource(5)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	BuildMatrixApprox(ds, 10, ApproxConfig{})
+}
+
+func toIntSlice(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package knn implements exact k-nearest-neighbor computation: brute-force
+// single queries, batched all-pairs construction of the k′-NN matrix the
+// offline phase needs (Fig. 2 of the paper), ground-truth generation for
+// query sets, and the k-NN accuracy metric (Eq. 1).
+package knn
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/par"
+	"repro/internal/vecmath"
+)
+
+// Search returns the k nearest neighbors of query within base by exhaustive
+// scan, sorted by ascending distance.
+func Search(base *dataset.Dataset, query []float32, k int) []vecmath.Neighbor {
+	return SearchSubset(base, nil, query, k)
+}
+
+// SearchSubset scans only the rows of base listed in subset (all rows when
+// subset is nil) and returns the k nearest, sorted by ascending distance.
+// This is the candidate-set scan of the online phase (Alg. 2, step 3).
+func SearchSubset(base *dataset.Dataset, subset []int, query []float32, k int) []vecmath.Neighbor {
+	tk := vecmath.NewTopK(k)
+	if subset == nil {
+		for i := 0; i < base.N; i++ {
+			tk.Push(i, vecmath.SquaredL2(query, base.Row(i)))
+		}
+	} else {
+		for _, i := range subset {
+			tk.Push(i, vecmath.SquaredL2(query, base.Row(i)))
+		}
+	}
+	return tk.Sorted()
+}
+
+// Matrix is the k′-NN matrix of §4.2.1: row i lists the indices of the k′
+// nearest neighbors of point i within the dataset (excluding i itself),
+// ordered by ascending distance.
+type Matrix struct {
+	K         int
+	Neighbors [][]int32
+}
+
+// BuildMatrix computes the exact k′-NN matrix by blocked brute force,
+// parallelized over points. This is the paper's only preprocessing step.
+func BuildMatrix(base *dataset.Dataset, k int) *Matrix {
+	if k <= 0 || k >= base.N {
+		panic(fmt.Sprintf("knn: BuildMatrix k=%d out of range for n=%d", k, base.N))
+	}
+	nbrs := make([][]int32, base.N)
+	par.ForChunks(base.N, func(lo, hi int) {
+		tk := vecmath.NewTopK(k)
+		for i := lo; i < hi; i++ {
+			q := base.Row(i)
+			tk.Reset()
+			for j := 0; j < base.N; j++ {
+				if j == i {
+					continue
+				}
+				tk.Push(j, vecmath.SquaredL2(q, base.Row(j)))
+			}
+			sorted := tk.Sorted()
+			row := make([]int32, len(sorted))
+			for x, nb := range sorted {
+				row[x] = int32(nb.Index)
+			}
+			nbrs[i] = row
+		}
+	})
+	return &Matrix{K: k, Neighbors: nbrs}
+}
+
+// GroundTruth computes, for each query, the indices of its k true nearest
+// neighbors in base (ascending distance). Used to score every method's
+// k-NN accuracy.
+func GroundTruth(base, queries *dataset.Dataset, k int) [][]int32 {
+	out := make([][]int32, queries.N)
+	par.ForChunks(queries.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ns := Search(base, queries.Row(i), k)
+			row := make([]int32, len(ns))
+			for x, nb := range ns {
+				row[x] = int32(nb.Index)
+			}
+			out[i] = row
+		}
+	})
+	return out
+}
+
+// Recall computes the k-NN accuracy of Eq. 1: the fraction of the true
+// neighbors present among the returned indices.
+func Recall(returned []int, truth []int32) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	set := make(map[int32]struct{}, len(returned))
+	for _, r := range returned {
+		set[int32(r)] = struct{}{}
+	}
+	hit := 0
+	for _, t := range truth {
+		if _, ok := set[t]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// RecallNeighbors is Recall over a []vecmath.Neighbor result.
+func RecallNeighbors(returned []vecmath.Neighbor, truth []int32) float64 {
+	ids := make([]int, len(returned))
+	for i, n := range returned {
+		ids[i] = n.Index
+	}
+	return Recall(ids, truth)
+}

@@ -1,0 +1,157 @@
+package knn
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+func TestSearchMatchesSortedScan(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 20+rng.Intn(80), 1+rng.Intn(8)
+		base := dataset.Uniform(n, d, rng)
+		q := make([]float32, d)
+		for i := range q {
+			q[i] = float32(rng.NormFloat64())
+		}
+		k := 1 + rng.Intn(10)
+		got := Search(base, q, k)
+
+		type pair struct {
+			i int
+			d float32
+		}
+		all := make([]pair, n)
+		for i := 0; i < n; i++ {
+			all[i] = pair{i, vecmath.SquaredL2(q, base.Row(i))}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].d != all[b].d {
+				return all[a].d < all[b].d
+			}
+			return all[a].i < all[b].i
+		})
+		if k > n {
+			k = n
+		}
+		for x := 0; x < k; x++ {
+			if got[x].Index != all[x].i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchSubsetRestricts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := dataset.Uniform(50, 3, rng)
+	q := base.Row(0)
+	subset := []int{10, 20, 30}
+	got := SearchSubset(base, subset, q, 2)
+	for _, nb := range got {
+		found := false
+		for _, s := range subset {
+			if nb.Index == s {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("result %d outside subset", nb.Index)
+		}
+	}
+}
+
+func TestBuildMatrixProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := dataset.Uniform(60, 4, rng)
+	k := 5
+	m := BuildMatrix(base, k)
+	if len(m.Neighbors) != base.N {
+		t.Fatal("row count mismatch")
+	}
+	for i, row := range m.Neighbors {
+		if len(row) != k {
+			t.Fatalf("row %d has %d neighbors", i, len(row))
+		}
+		var prev float32 = -1
+		for _, j := range row {
+			if int(j) == i {
+				t.Fatalf("point %d is its own neighbor", i)
+			}
+			d := vecmath.SquaredL2(base.Row(i), base.Row(int(j)))
+			if d < prev {
+				t.Fatalf("row %d not sorted by distance", i)
+			}
+			prev = d
+		}
+		// The worst retained neighbor must beat every excluded point.
+		worst := vecmath.SquaredL2(base.Row(i), base.Row(int(row[k-1])))
+		inRow := map[int32]bool{}
+		for _, j := range row {
+			inRow[j] = true
+		}
+		for j := 0; j < base.N; j++ {
+			if j == i || inRow[int32(j)] {
+				continue
+			}
+			if vecmath.SquaredL2(base.Row(i), base.Row(j)) < worst {
+				t.Fatalf("point %d: excluded point %d closer than retained", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildMatrixPanicsOnBadK(t *testing.T) {
+	base := dataset.Uniform(10, 2, rand.New(rand.NewSource(3)))
+	for _, k := range []int{0, 10, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("k=%d should panic", k)
+				}
+			}()
+			BuildMatrix(base, k)
+		}()
+	}
+}
+
+func TestGroundTruthSelfQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := dataset.Uniform(30, 3, rng)
+	// Querying with base points: nearest neighbor of base.Row(i) is i itself.
+	gt := GroundTruth(base, base, 1)
+	for i, row := range gt {
+		if row[0] != int32(i) {
+			t.Fatalf("query %d: nearest is %d", i, row[0])
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	truth := []int32{1, 2, 3, 4}
+	if r := Recall([]int{1, 2, 3, 4}, truth); r != 1 {
+		t.Fatalf("full recall = %v", r)
+	}
+	if r := Recall([]int{1, 2, 9, 8}, truth); r != 0.5 {
+		t.Fatalf("half recall = %v", r)
+	}
+	if r := Recall(nil, truth); r != 0 {
+		t.Fatalf("empty recall = %v", r)
+	}
+	if r := Recall([]int{1}, nil); r != 0 {
+		t.Fatalf("empty truth recall = %v", r)
+	}
+	ns := []vecmath.Neighbor{{Index: 1}, {Index: 7}}
+	if r := RecallNeighbors(ns, truth); r != 0.25 {
+		t.Fatalf("neighbor recall = %v", r)
+	}
+}

@@ -1,0 +1,139 @@
+package neurallsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/trees"
+)
+
+func blobs(seed int64, n, dim, k int) (*dataset.Labeled, *knn.Matrix) {
+	l := dataset.GaussianMixture(dataset.GaussianMixtureConfig{
+		N: n, Dim: dim, Clusters: k, ClusterStd: 0.1, CenterBox: 5,
+	}, rand.New(rand.NewSource(seed)))
+	return l, knn.BuildMatrix(l.Dataset, 10)
+}
+
+func TestTrainPartitionAndRouter(t *testing.T) {
+	l, mat := blobs(1, 500, 6, 4)
+	m, stats, err := Train(l.Dataset, mat, Config{
+		Bins: 4, Hidden: []int{32}, Epochs: 40, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lookup table covers every point exactly once and matches Assign.
+	seen := make([]int, l.N)
+	for b, pts := range m.Bins {
+		for _, i := range pts {
+			seen[i]++
+			if m.Assign[i] != int32(b) {
+				t.Fatalf("point %d assign mismatch", i)
+			}
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("point %d in %d bins", i, c)
+		}
+	}
+	// Graph partition of separated blobs must be balanced-ish.
+	for b, s := range m.BinSizes() {
+		if s < l.N/8 {
+			t.Fatalf("bin %d has only %d points: %v", b, s, m.BinSizes())
+		}
+	}
+	// The router must mimic the labels well on this easy layout.
+	if stats.TrainAccuracy < 0.9 {
+		t.Fatalf("router accuracy %.3f", stats.TrainAccuracy)
+	}
+	if stats.Params == 0 || stats.PartitionTime <= 0 || stats.TrainTime <= 0 {
+		t.Fatalf("stats incomplete: %+v", stats)
+	}
+}
+
+func TestCandidatesGrowWithProbes(t *testing.T) {
+	l, mat := blobs(3, 400, 4, 4)
+	m, _, err := Train(l.Dataset, mat, Config{Bins: 4, Hidden: []int{16}, Epochs: 25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := l.Row(0)
+	prev := 0
+	for mp := 1; mp <= 4; mp++ {
+		c := len(m.Candidates(q, mp))
+		if c < prev {
+			t.Fatal("candidates shrank")
+		}
+		prev = c
+	}
+	if prev != l.N {
+		t.Fatalf("all-bin probe |C| = %d", prev)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	l, mat := blobs(5, 50, 4, 2)
+	if _, _, err := Train(l.Dataset, mat, Config{Bins: 1}); err == nil {
+		t.Fatal("Bins=1 should fail")
+	}
+	if _, _, err := Train(l.Dataset, mat, Config{Bins: 100}); err == nil {
+		t.Fatal("Bins>n should fail")
+	}
+}
+
+func TestLogisticRouterVariant(t *testing.T) {
+	l, mat := blobs(6, 300, 4, 2)
+	m, stats, err := Train(l.Dataset, mat, Config{Bins: 2, Epochs: 30, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4*2 + 2; stats.Params != want {
+		t.Fatalf("logistic router params = %d, want %d", stats.Params, want)
+	}
+	if len(m.Probabilities(l.Row(0))) != 2 {
+		t.Fatal("probabilities width")
+	}
+}
+
+func TestRegressionFitterTree(t *testing.T) {
+	l, _ := blobs(8, 400, 6, 4)
+	tree := trees.Build(l.Dataset, 3, RegressionFitter{Seed: 9, Epochs: 20}, 9)
+	if tree.NumLeaves() < 4 {
+		t.Fatalf("leaves = %d", tree.NumLeaves())
+	}
+	// Leaf partition covers the dataset once.
+	seen := make([]int, l.N)
+	for _, leaf := range tree.Leaves {
+		for _, i := range leaf {
+			seen[i]++
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("point %d in %d leaves", i, c)
+		}
+	}
+	// Balance: graph bisection labels must keep leaves within sane bounds.
+	for li, s := range tree.LeafSizes() {
+		if s > l.N*3/4 {
+			t.Fatalf("leaf %d holds %d points", li, s)
+		}
+	}
+	// Multi-probe monotonicity.
+	q := l.Row(0)
+	if len(tree.Candidates(q, tree.NumLeaves())) != l.N {
+		t.Fatal("full probe must cover dataset")
+	}
+}
+
+func TestRegressionFitterDegenerate(t *testing.T) {
+	f := RegressionFitter{Seed: 1}
+	d := dataset.New(3, 2) // < 4 points: unsplittable
+	idx := []int32{0, 1, 2}
+	if sp := f.Fit(d, idx, rand.New(rand.NewSource(1))); sp != nil {
+		t.Fatal("expected nil splitter for tiny subset")
+	}
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// Gradients that are chained through a softmax must sum to zero across each
+// logits row (the softmax Jacobian annihilates constants). This holds for
+// the quality term, the balance term, and their weighted combination, so it
+// is a strong structural check on the fused gradient in USPLoss.
+func TestUSPLossGradRowsSumToZero(t *testing.T) {
+	check := func(seed int64, etaRaw uint8, weighted bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, m := 2+rng.Intn(10), 2+rng.Intn(6)
+		logits := randInput(rng, b, m)
+		targets := randSoftTargets(rng, b, m)
+		var weights []float32
+		if weighted {
+			weights = make([]float32, b)
+			for i := range weights {
+				weights[i] = float32(rng.Float64()*3 + 0.1)
+			}
+		}
+		eta := float64(etaRaw%40) / 2
+		res := USPLoss(logits, targets, weights, eta)
+		for i := 0; i < b; i++ {
+			var sum float64
+			for _, g := range res.Grad.Row(i) {
+				sum += float64(g)
+			}
+			if math.Abs(sum) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The balance term is bounded: S ∈ [-1, 0) since the window holds at most
+// all of each column's probability mass, normalized by the batch size.
+func TestBalanceTermBounds(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, m := 2+rng.Intn(20), 2+rng.Intn(8)
+		logits := randInput(rng, b, m)
+		targets := randSoftTargets(rng, b, m)
+		res := USPLoss(logits, targets, nil, 1)
+		return res.Balance >= -1-1e-6 && res.Balance < 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Quality cross-entropy is minimized exactly when the prediction equals the
+// target: perturbing logits away from a matching distribution cannot lower
+// the loss (Gibbs' inequality).
+func TestQualityGibbsInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		m := 2 + rng.Intn(5)
+		logits := randInput(rng, 1, m)
+		targets := logits.Clone()
+		SoftmaxRows(targets) // target = softmax(logits): CE at its minimum
+		base := USPLoss(logits, targets, nil, 0).Quality
+
+		bumped := logits.Clone()
+		bumped.Data[rng.Intn(m)] += 0.5
+		if USPLoss(bumped, targets, nil, 0).Quality < base-1e-6 {
+			t.Fatalf("perturbation lowered CE below its entropy floor")
+		}
+	}
+}
+
+// Scaling every ensemble weight by a constant must not change the loss or
+// gradient (the quality term normalizes by Σw).
+func TestUSPLossWeightScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	logits := randInput(rng, 6, 4)
+	targets := randSoftTargets(rng, 6, 4)
+	w1 := []float32{1, 2, 3, 4, 5, 6}
+	w2 := make([]float32, 6)
+	for i, w := range w1 {
+		w2[i] = w * 10
+	}
+	a := USPLoss(logits.Clone(), targets, w1, 2)
+	b := USPLoss(logits.Clone(), targets, w2, 2)
+	if math.Abs(a.Loss-b.Loss) > 1e-5 {
+		t.Fatalf("loss changed under weight scaling: %v vs %v", a.Loss, b.Loss)
+	}
+	if !tensor.Equalish(a.Grad, b.Grad, 1e-6) {
+		t.Fatal("gradient changed under weight scaling")
+	}
+}

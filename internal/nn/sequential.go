@@ -1,0 +1,165 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// Sequential chains layers into a feed-forward model producing logits.
+// Probabilities are obtained by applying Softmax to the logits; training
+// losses in this package consume logits directly for numerical stability.
+type Sequential struct {
+	Layers []Layer
+	InDim  int
+}
+
+// NewSequential builds a model over inDim-wide inputs from the given layers.
+func NewSequential(inDim int, layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers, InDim: inDim}
+}
+
+// NewMLP builds the paper's neural-network architecture: for each hidden
+// width h: Dense(h) → BatchNorm → ReLU → Dropout(p), followed by a final
+// Dense(outDim) producing logits over the m bins.
+func NewMLP(inDim int, hidden []int, outDim int, dropout float64, rng *rand.Rand) *Sequential {
+	var layers []Layer
+	prev := inDim
+	for _, h := range hidden {
+		layers = append(layers,
+			NewDense(prev, h, rng),
+			NewBatchNorm(h),
+			NewReLU(),
+		)
+		if dropout > 0 {
+			layers = append(layers, NewDropout(dropout, rng))
+		}
+		prev = h
+	}
+	layers = append(layers, NewDense(prev, outDim, rng))
+	return NewSequential(inDim, layers...)
+}
+
+// NewLogistic builds the paper's logistic-regression architecture: a single
+// Dense layer producing logits (softmax applied downstream). With outDim = 2
+// this is the binary splitter used in the tree experiments (Fig. 6).
+func NewLogistic(inDim, outDim int, rng *rand.Rand) *Sequential {
+	return NewSequential(inDim, NewDense(inDim, outDim, rng))
+}
+
+// OutDim returns the model's output width (number of bins).
+func (s *Sequential) OutDim() int {
+	d := s.InDim
+	for _, l := range s.Layers {
+		d = l.OutDim(d)
+	}
+	return d
+}
+
+// Forward runs the model on a batch, returning logits. When train is true,
+// layers cache activations for a subsequent Backward and apply
+// training-only behaviour (dropout, batch statistics).
+func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the gradient of the loss with respect to the logits
+// back through the model, accumulating parameter gradients.
+func (s *Sequential) Backward(gradLogits *tensor.Matrix) {
+	g := gradLogits
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		g = s.Layers[i].Backward(g)
+	}
+}
+
+// Params returns all trainable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of scalar learnable parameters
+// (the quantity reported in Table 2 of the paper).
+func (s *Sequential) NumParams() int {
+	total := 0
+	for _, p := range s.Params() {
+		total += p.Size()
+	}
+	return total
+}
+
+// ZeroGrads clears all accumulated parameter gradients.
+func (s *Sequential) ZeroGrads() {
+	for _, p := range s.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// Predict runs inference on a batch and returns bin probabilities
+// (softmax over logits). The input is consumed in eval mode, so running
+// batch-norm statistics are used and dropout is disabled.
+func (s *Sequential) Predict(x *tensor.Matrix) *tensor.Matrix {
+	logits := s.Forward(x, false)
+	SoftmaxRows(logits)
+	return logits
+}
+
+// PredictVec runs inference on a single vector and returns its bin
+// probability distribution.
+func (s *Sequential) PredictVec(v []float32) []float32 {
+	x := tensor.FromSlice(1, len(v), v)
+	return s.Predict(x).Row(0)
+}
+
+// SoftmaxRows converts each row of logits to a probability distribution in
+// place using the max-subtraction trick for stability.
+func SoftmaxRows(m *tensor.Matrix) {
+	par.ForChunks(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			maxv := row[0]
+			for _, v := range row[1:] {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			var sum float64
+			for j, v := range row {
+				e := math.Exp(float64(v - maxv))
+				row[j] = float32(e)
+				sum += e
+			}
+			inv := float32(1 / sum)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+	})
+}
+
+// LogSoftmaxRow computes log-softmax of one logits row into dst (float64 for
+// downstream loss accumulation).
+func LogSoftmaxRow(dst []float64, row []float32) {
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range row {
+		sum += math.Exp(float64(v - maxv))
+	}
+	logSum := math.Log(sum) + float64(maxv)
+	for j, v := range row {
+		dst[j] = float64(v) - logSum
+	}
+}

@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// layerSpec is the gob-encodable snapshot of one layer. Only the fields
+// relevant to the layer's Kind are populated.
+type layerSpec struct {
+	Kind string // "dense", "relu", "batchnorm", "dropout"
+
+	// dense
+	In, Out int
+	W, B    []float32
+
+	// batchnorm
+	Dim                          int
+	Gamma, Beta, RunMean, RunVar []float32
+	Momentum, Eps                float64
+
+	// dropout
+	P float64
+}
+
+type modelSpec struct {
+	InDim  int
+	Layers []layerSpec
+}
+
+// Save serializes the model's architecture and weights to w in a stable
+// binary format (encoding/gob over explicit snapshots).
+func (s *Sequential) Save(w io.Writer) error {
+	spec := modelSpec{InDim: s.InDim}
+	for _, l := range s.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			spec.Layers = append(spec.Layers, layerSpec{
+				Kind: "dense",
+				In:   t.W.Value.Rows, Out: t.W.Value.Cols,
+				W: t.W.Value.Data, B: t.B.Value.Data,
+			})
+		case *ReLU:
+			spec.Layers = append(spec.Layers, layerSpec{Kind: "relu"})
+		case *BatchNorm:
+			spec.Layers = append(spec.Layers, layerSpec{
+				Kind:  "batchnorm",
+				Dim:   t.Gamma.Value.Cols,
+				Gamma: t.Gamma.Value.Data, Beta: t.Beta.Value.Data,
+				RunMean: t.RunningMean.Data, RunVar: t.RunningVar.Data,
+				Momentum: t.Momentum, Eps: t.Eps,
+			})
+		case *Dropout:
+			spec.Layers = append(spec.Layers, layerSpec{Kind: "dropout", P: t.P})
+		default:
+			return fmt.Errorf("nn: cannot serialize layer type %T", l)
+		}
+	}
+	return gob.NewEncoder(w).Encode(spec)
+}
+
+// Load reconstructs a model previously written by Save. rng seeds any
+// stochastic layers (dropout); it may be nil if the model will only be used
+// for inference.
+func Load(r io.Reader, rng *rand.Rand) (*Sequential, error) {
+	var spec modelSpec
+	if err := gob.NewDecoder(r).Decode(&spec); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	model := &Sequential{InDim: spec.InDim}
+	for _, ls := range spec.Layers {
+		switch ls.Kind {
+		case "dense":
+			d := &Dense{W: newParam("W", ls.In, ls.Out), B: newParam("b", 1, ls.Out)}
+			copy(d.W.Value.Data, ls.W)
+			copy(d.B.Value.Data, ls.B)
+			model.Layers = append(model.Layers, d)
+		case "relu":
+			model.Layers = append(model.Layers, NewReLU())
+		case "batchnorm":
+			bn := NewBatchNorm(ls.Dim)
+			copy(bn.Gamma.Value.Data, ls.Gamma)
+			copy(bn.Beta.Value.Data, ls.Beta)
+			bn.RunningMean = tensor.FromSlice(1, ls.Dim, append([]float32(nil), ls.RunMean...))
+			bn.RunningVar = tensor.FromSlice(1, ls.Dim, append([]float32(nil), ls.RunVar...))
+			bn.Momentum, bn.Eps = ls.Momentum, ls.Eps
+			model.Layers = append(model.Layers, bn)
+		case "dropout":
+			if rng == nil {
+				rng = rand.New(rand.NewSource(1))
+			}
+			model.Layers = append(model.Layers, NewDropout(ls.P, rng))
+		default:
+			return nil, fmt.Errorf("nn: unknown layer kind %q", ls.Kind)
+		}
+	}
+	return model, nil
+}

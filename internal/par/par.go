@@ -1,0 +1,123 @@
+// Package par provides small parallel-execution helpers used across the
+// library: chunked parallel-for over index ranges and a bounded worker pool.
+//
+// All helpers degrade gracefully to sequential execution when GOMAXPROCS is 1
+// or the range is small, so hot paths pay no goroutine overhead on tiny
+// inputs.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallelSpan is the smallest index range worth splitting across
+// goroutines. Below this the scheduling overhead dominates.
+const minParallelSpan = 1024
+
+// Workers returns the degree of parallelism helpers in this package use.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn(i) for every i in [0, n), potentially in parallel.
+// fn must be safe to call concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	ForChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForChunks splits [0, n) into contiguous chunks and runs fn(lo, hi) on each,
+// potentially in parallel. fn must be safe to call concurrently for disjoint
+// ranges.
+func ForChunks(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers()
+	if w <= 1 || n < minParallelSpan {
+		fn(0, n)
+		return
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given functions, potentially concurrently, and waits for all of
+// them to finish.
+func Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if Workers() <= 1 || len(fns) == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// MapReduce computes a per-chunk partial result with mapFn and folds the
+// partials (in deterministic chunk order) with reduceFn. It is used for
+// parallel reductions such as loss sums where floating-point determinism for
+// a fixed GOMAXPROCS matters.
+func MapReduce[T any](n int, mapFn func(lo, hi int) T, reduceFn func(a, b T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	w := Workers()
+	if w <= 1 || n < minParallelSpan {
+		return mapFn(0, n)
+	}
+	if w > n {
+		w = n
+	}
+	chunk := (n + w - 1) / w
+	nChunks := (n + chunk - 1) / chunk
+	partials := make([]T, nChunks)
+	var wg sync.WaitGroup
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			partials[c] = mapFn(lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = reduceFn(acc, p)
+	}
+	return acc
+}

@@ -1,0 +1,305 @@
+// Package quant implements product quantization and the score-aware
+// anisotropic vector quantization of ScaNN (Guo et al. 2020), plus the
+// two-stage ScaNN search pipeline (quantized first-pass scoring with ADC
+// lookup tables, exact re-ranking) that Fig. 7 of the paper composes with
+// different partitioners.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/par"
+	"repro/internal/vecmath"
+)
+
+// Config controls codebook training.
+type Config struct {
+	// Subspaces is the number of PQ blocks M (must divide into Dim
+	// sensibly; trailing block absorbs the remainder).
+	Subspaces int
+	// Codebook size per subspace (≤ 256; default 16).
+	K int
+	// Iters of (weighted) Lloyd refinement (default 15).
+	Iters int
+	// Anisotropic enables ScaNN's score-aware loss: quantization error
+	// parallel to the data point is penalized EtaParallel times more than
+	// orthogonal error. Zero EtaParallel with Anisotropic=true defaults
+	// to 4 (ScaNN's T=0.2 regime on unit-norm data lands in this range).
+	Anisotropic bool
+	EtaParallel float64
+	// Seed drives k-means seeding.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 16
+	}
+	if c.Iters == 0 {
+		c.Iters = 15
+	}
+	if c.Anisotropic && c.EtaParallel == 0 {
+		c.EtaParallel = 4
+	}
+	return c
+}
+
+// PQ is a trained product quantizer.
+type PQ struct {
+	Dim       int
+	Subspaces int
+	K         int
+	// Bounds[s] and Bounds[s+1] delimit subspace s's dimensions.
+	Bounds []int
+	// Codebooks[s] is a K×subDim dataset of centroids.
+	Codebooks []*dataset.Dataset
+}
+
+// Train fits the quantizer on ds.
+func Train(ds *dataset.Dataset, cfg Config) (*PQ, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Subspaces <= 0 || cfg.Subspaces > ds.Dim {
+		return nil, fmt.Errorf("quant: Subspaces=%d invalid for dim %d", cfg.Subspaces, ds.Dim)
+	}
+	if cfg.K > 256 {
+		return nil, fmt.Errorf("quant: K=%d exceeds uint8 code range", cfg.K)
+	}
+	if ds.N < cfg.K {
+		return nil, fmt.Errorf("quant: need at least K=%d points, have %d", cfg.K, ds.N)
+	}
+	pq := &PQ{Dim: ds.Dim, Subspaces: cfg.Subspaces, K: cfg.K}
+	base := ds.Dim / cfg.Subspaces
+	pq.Bounds = make([]int, cfg.Subspaces+1)
+	for s := 0; s <= cfg.Subspaces; s++ {
+		pq.Bounds[s] = s * base
+	}
+	pq.Bounds[cfg.Subspaces] = ds.Dim // last block absorbs the remainder
+
+	pq.Codebooks = make([]*dataset.Dataset, cfg.Subspaces)
+	for s := 0; s < cfg.Subspaces; s++ {
+		lo, hi := pq.Bounds[s], pq.Bounds[s+1]
+		sub := dataset.New(ds.N, hi-lo)
+		for i := 0; i < ds.N; i++ {
+			copy(sub.Row(i), ds.Row(i)[lo:hi])
+		}
+		res, err := kmeans.Run(sub, cfg.K, kmeans.Options{
+			Seed: cfg.Seed + int64(s), MaxIters: cfg.Iters,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("quant: subspace %d: %w", s, err)
+		}
+		cents := res.Centroids
+		if cfg.Anisotropic {
+			cents = anisotropicRefine(sub, cents, cfg, cfg.Seed+int64(s))
+		}
+		pq.Codebooks[s] = cents
+	}
+	return pq, nil
+}
+
+// Encode quantizes every row of ds into Subspaces byte codes.
+func (pq *PQ) Encode(ds *dataset.Dataset) [][]uint8 {
+	codes := make([][]uint8, ds.N)
+	par.ForChunks(ds.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			codes[i] = pq.EncodeVec(ds.Row(i))
+		}
+	})
+	return codes
+}
+
+// EncodeVec quantizes one vector.
+func (pq *PQ) EncodeVec(v []float32) []uint8 {
+	code := make([]uint8, pq.Subspaces)
+	for s := 0; s < pq.Subspaces; s++ {
+		lo, hi := pq.Bounds[s], pq.Bounds[s+1]
+		seg := v[lo:hi]
+		cb := pq.Codebooks[s]
+		best, bi := float32(math.MaxFloat32), 0
+		for c := 0; c < cb.N; c++ {
+			if d := vecmath.SquaredL2(seg, cb.Row(c)); d < best {
+				best, bi = d, c
+			}
+		}
+		code[s] = uint8(bi)
+	}
+	return code
+}
+
+// Decode reconstructs the vector a code represents.
+func (pq *PQ) Decode(code []uint8) []float32 {
+	out := make([]float32, pq.Dim)
+	for s := 0; s < pq.Subspaces; s++ {
+		lo, hi := pq.Bounds[s], pq.Bounds[s+1]
+		copy(out[lo:hi], pq.Codebooks[s].Row(int(code[s])))
+	}
+	return out
+}
+
+// LUT is a per-query ADC lookup table: LUT[s][c] is the squared distance
+// between the query's subspace-s segment and centroid c.
+type LUT [][]float32
+
+// BuildLUT precomputes the ADC table for q.
+func (pq *PQ) BuildLUT(q []float32) LUT {
+	lut := make(LUT, pq.Subspaces)
+	for s := 0; s < pq.Subspaces; s++ {
+		lo, hi := pq.Bounds[s], pq.Bounds[s+1]
+		seg := q[lo:hi]
+		cb := pq.Codebooks[s]
+		row := make([]float32, cb.N)
+		for c := 0; c < cb.N; c++ {
+			row[c] = vecmath.SquaredL2(seg, cb.Row(c))
+		}
+		lut[s] = row
+	}
+	return lut
+}
+
+// Distance evaluates the asymmetric (query-to-code) squared distance via the
+// lookup table: one add per subspace.
+func (lut LUT) Distance(code []uint8) float32 {
+	var d float32
+	for s, c := range code {
+		d += lut[s][c]
+	}
+	return d
+}
+
+// anisotropicRefine re-optimizes centroids under the score-aware loss
+// h∥·‖r∥‖² + h⊥·‖r⊥‖² with h∥ = EtaParallel·h⊥, alternating weighted
+// assignment with the closed-form weighted centroid update
+// c = (Σ Aᵢ)⁻¹ Σ Aᵢ xᵢ, Aᵢ = I + (η−1)·uᵢuᵢᵀ (Guo et al. 2020, Thm 4.2).
+func anisotropicRefine(sub *dataset.Dataset, cents *dataset.Dataset, cfg Config, seed int64) *dataset.Dataset {
+	eta := cfg.EtaParallel
+	d := sub.Dim
+	k := cents.N
+	rng := rand.New(rand.NewSource(seed))
+	assign := make([]int, sub.N)
+	units := make([][]float32, sub.N)
+	for i := 0; i < sub.N; i++ {
+		u := append([]float32(nil), sub.Row(i)...)
+		if !vecmath.Normalize(u) {
+			u = nil // zero segment: isotropic treatment
+		}
+		units[i] = u
+	}
+
+	anisoCost := func(x, c, u []float32) float32 {
+		// r = x - c; cost = ‖r⊥‖² + η·‖r∥‖² = ‖r‖² + (η−1)(r·u)².
+		var rr, ru float32
+		for j := range x {
+			r := x[j] - c[j]
+			rr += r * r
+			if u != nil {
+				ru += r * u[j]
+			}
+		}
+		return rr + float32(eta-1)*ru*ru
+	}
+
+	for iter := 0; iter < cfg.Iters; iter++ {
+		// Weighted assignment.
+		for i := 0; i < sub.N; i++ {
+			x := sub.Row(i)
+			best, bi := float32(math.MaxFloat32), 0
+			for c := 0; c < k; c++ {
+				if cost := anisoCost(x, cents.Row(c), units[i]); cost < best {
+					best, bi = cost, c
+				}
+			}
+			assign[i] = bi
+		}
+		// Closed-form update per centroid: accumulate A = Σ Aᵢ (d×d) and
+		// b = Σ Aᵢ xᵢ, then solve A·c = b.
+		for c := 0; c < k; c++ {
+			A := make([]float64, d*d)
+			b := make([]float64, d)
+			count := 0
+			for i := 0; i < sub.N; i++ {
+				if assign[i] != c {
+					continue
+				}
+				count++
+				x := sub.Row(i)
+				u := units[i]
+				// Aᵢ = I + (η−1) u uᵀ ; Aᵢ xᵢ = xᵢ + (η−1)(u·xᵢ) u.
+				var ux float64
+				if u != nil {
+					for j := range x {
+						ux += float64(u[j]) * float64(x[j])
+					}
+				}
+				for j := 0; j < d; j++ {
+					A[j*d+j]++
+					b[j] += float64(x[j])
+					if u != nil {
+						b[j] += (eta - 1) * ux * float64(u[j])
+						for l := 0; l < d; l++ {
+							A[j*d+l] += (eta - 1) * float64(u[j]) * float64(u[l])
+						}
+					}
+				}
+			}
+			if count == 0 {
+				copy(cents.Row(c), sub.Row(rng.Intn(sub.N)))
+				continue
+			}
+			if sol, ok := solveLinear(A, b, d); ok {
+				crow := cents.Row(c)
+				for j := 0; j < d; j++ {
+					crow[j] = float32(sol[j])
+				}
+			}
+		}
+	}
+	return cents
+}
+
+// solveLinear solves the d×d system A·x = b by Gaussian elimination with
+// partial pivoting. Returns ok=false for (near-)singular systems.
+func solveLinear(A []float64, b []float64, d int) ([]float64, bool) {
+	M := append([]float64(nil), A...)
+	x := append([]float64(nil), b...)
+	for col := 0; col < d; col++ {
+		// Pivot.
+		pivot, pv := col, math.Abs(M[col*d+col])
+		for r := col + 1; r < d; r++ {
+			if v := math.Abs(M[r*d+col]); v > pv {
+				pivot, pv = r, v
+			}
+		}
+		if pv < 1e-12 {
+			return nil, false
+		}
+		if pivot != col {
+			for j := 0; j < d; j++ {
+				M[col*d+j], M[pivot*d+j] = M[pivot*d+j], M[col*d+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / M[col*d+col]
+		for r := col + 1; r < d; r++ {
+			f := M[r*d+col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < d; j++ {
+				M[r*d+j] -= f * M[col*d+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := d - 1; col >= 0; col-- {
+		s := x[col]
+		for j := col + 1; j < d; j++ {
+			s -= M[col*d+j] * x[j]
+		}
+		x[col] = s / M[col*d+col]
+	}
+	return x, true
+}

@@ -1,0 +1,205 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/vecmath"
+)
+
+func blobs(seed int64, n, dim int) *dataset.Dataset {
+	return dataset.GaussianMixture(dataset.GaussianMixtureConfig{
+		N: n, Dim: dim, Clusters: 8, ClusterStd: 0.2, CenterBox: 3,
+	}, rand.New(rand.NewSource(seed))).Dataset
+}
+
+func reconstructionMSE(pq *PQ, ds *dataset.Dataset) float64 {
+	codes := pq.Encode(ds)
+	var mse float64
+	for i := 0; i < ds.N; i++ {
+		rec := pq.Decode(codes[i])
+		mse += float64(vecmath.SquaredL2(ds.Row(i), rec))
+	}
+	return mse / float64(ds.N)
+}
+
+func TestTrainEncodeDecodeRoundTrip(t *testing.T) {
+	ds := blobs(1, 400, 16)
+	pq, err := Train(ds, Config{Subspaces: 4, K: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := pq.Encode(ds)
+	if len(codes) != ds.N || len(codes[0]) != 4 {
+		t.Fatalf("codes shape %dx%d", len(codes), len(codes[0]))
+	}
+	rec := pq.Decode(codes[0])
+	if len(rec) != 16 {
+		t.Fatalf("decode dim %d", len(rec))
+	}
+	// Reconstruction must be far better than quantizing to the global mean.
+	mse := reconstructionMSE(pq, ds)
+	mean := make([]float32, ds.Dim)
+	for i := 0; i < ds.N; i++ {
+		vecmath.AXPY(1/float32(ds.N), ds.Row(i), mean)
+	}
+	var meanMSE float64
+	for i := 0; i < ds.N; i++ {
+		meanMSE += float64(vecmath.SquaredL2(ds.Row(i), mean))
+	}
+	meanMSE /= float64(ds.N)
+	if mse > meanMSE/4 {
+		t.Fatalf("PQ MSE %v vs mean-baseline %v", mse, meanMSE)
+	}
+}
+
+func TestMoreCentroidsLowerError(t *testing.T) {
+	ds := blobs(3, 500, 16)
+	var prev float64 = -1
+	for _, k := range []int{4, 16, 64} {
+		pq, err := Train(ds, Config{Subspaces: 4, K: k, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mse := reconstructionMSE(pq, ds)
+		if prev >= 0 && mse > prev*1.05 {
+			t.Fatalf("MSE rose from %v to %v at K=%d", prev, mse, k)
+		}
+		prev = mse
+	}
+}
+
+func TestLUTMatchesDecodedDistance(t *testing.T) {
+	ds := blobs(5, 200, 12)
+	pq, err := Train(ds, Config{Subspaces: 3, K: 8, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := pq.Encode(ds)
+	rng := rand.New(rand.NewSource(7))
+	q := make([]float32, 12)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	lut := pq.BuildLUT(q)
+	for i := 0; i < 50; i++ {
+		adc := float64(lut.Distance(codes[i]))
+		exact := float64(vecmath.SquaredL2(q, pq.Decode(codes[i])))
+		if math.Abs(adc-exact) > 1e-3*(1+exact) {
+			t.Fatalf("point %d: ADC %v vs decoded %v", i, adc, exact)
+		}
+	}
+}
+
+func TestUnevenDimensionSplit(t *testing.T) {
+	// 10 dims over 3 subspaces: bounds 0,3,6,10 (last absorbs remainder).
+	ds := blobs(8, 100, 10)
+	pq, err := Train(ds, Config{Subspaces: 3, K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Bounds[3] != 10 {
+		t.Fatalf("bounds %v", pq.Bounds)
+	}
+	if got := len(pq.Codebooks[2].Row(0)); got != 4 {
+		t.Fatalf("last subspace width %d", got)
+	}
+	rec := pq.Decode(pq.EncodeVec(ds.Row(0)))
+	if len(rec) != 10 {
+		t.Fatalf("decode width %d", len(rec))
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	ds := blobs(10, 50, 8)
+	if _, err := Train(ds, Config{Subspaces: 0}); err == nil {
+		t.Fatal("Subspaces=0 should fail")
+	}
+	if _, err := Train(ds, Config{Subspaces: 9}); err == nil {
+		t.Fatal("Subspaces>dim should fail")
+	}
+	if _, err := Train(ds, Config{Subspaces: 2, K: 300}); err == nil {
+		t.Fatal("K>256 should fail")
+	}
+	if _, err := Train(ds, Config{Subspaces: 2, K: 64}); err == nil {
+		t.Fatal("K>n should fail")
+	}
+}
+
+func TestAnisotropicRefineRuns(t *testing.T) {
+	ds := blobs(11, 300, 16)
+	iso, err := Train(ds, Config{Subspaces: 4, K: 8, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aniso, err := Train(ds, Config{Subspaces: 4, K: 8, Seed: 12, Anisotropic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anisotropic codebooks trade reconstruction MSE for score fidelity;
+	// they must stay within a reasonable factor of the isotropic MSE.
+	mi, ma := reconstructionMSE(iso, ds), reconstructionMSE(aniso, ds)
+	if ma > mi*3 {
+		t.Fatalf("anisotropic MSE %v vs isotropic %v", ma, mi)
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x2 system: {{2,1},{1,3}} x = {5,10} → x = {1,3}.
+	sol, ok := solveLinear([]float64{2, 1, 1, 3}, []float64{5, 10}, 2)
+	if !ok {
+		t.Fatal("solver failed")
+	}
+	if math.Abs(sol[0]-1) > 1e-9 || math.Abs(sol[1]-3) > 1e-9 {
+		t.Fatalf("sol = %v", sol)
+	}
+	// Singular system.
+	if _, ok := solveLinear([]float64{1, 1, 1, 1}, []float64{1, 2}, 2); ok {
+		t.Fatal("singular system should fail")
+	}
+}
+
+func TestScaNNSearchRecall(t *testing.T) {
+	ds := blobs(13, 800, 16)
+	s, err := NewScaNN(ds, Config{Subspaces: 4, K: 16, Seed: 14, Anisotropic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := knn.GroundTruth(ds, ds, 10)
+	var recall float64
+	for qi := 0; qi < 60; qi++ {
+		ns := s.Search(ds.Row(qi), 10, nil)
+		recall += knn.RecallNeighbors(ns, gt[qi])
+	}
+	recall /= 60
+	if recall < 0.9 {
+		t.Fatalf("full-scan ScaNN recall %.3f", recall)
+	}
+}
+
+func TestScaNNSearchSubset(t *testing.T) {
+	ds := blobs(15, 300, 12)
+	s, err := NewScaNN(ds, Config{Subspaces: 3, K: 8, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := []int{5, 10, 15, 20}
+	ns := s.Search(ds.Row(5), 2, subset)
+	for _, nb := range ns {
+		ok := false
+		for _, c := range subset {
+			if nb.Index == c {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("result %d outside candidate set", nb.Index)
+		}
+	}
+	if ns[0].Index != 5 {
+		t.Fatalf("self query top-1 = %d", ns[0].Index)
+	}
+}

@@ -1,0 +1,238 @@
+// Package tensor provides a dense row-major float32 matrix type and the
+// blocked, parallel linear-algebra kernels (matmul variants, transpose,
+// row/column reductions) that back the neural-network stack in internal/nn.
+//
+// This package is the replacement for the tensor core of the deep-learning
+// framework the paper uses (PyTorch); the operation set is deliberately
+// limited to what a sequential MLP with batch normalization needs.
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Matrix is a dense row-major matrix of float32.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// New allocates a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a Matrix without copying.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows copies a slice of equal-length rows into a new Matrix.
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("tensor: ragged rows")
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets all elements to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom copies src's contents into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("tensor: CopyFrom shape mismatch")
+	}
+	copy(m.Data, src.Data)
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MatMul computes dst = a · b. dst must be a.Rows×b.Cols and must not alias a
+// or b. The kernel parallelizes over rows of a and iterates k-major within a
+// row so that the inner loop is a contiguous AXPY over b's rows (cache
+// friendly for row-major operands).
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	par.ForChunks(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for x := range drow {
+				drow[x] = 0
+			}
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulATB computes dst = aᵀ · b without materializing the transpose.
+// Shapes: a is n×r, b is n×c, dst is r×c. Used for weight gradients
+// (dW = Xᵀ·dY).
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulATB shape mismatch")
+	}
+	// Parallelize over the rows of dst (columns of a): each worker owns a
+	// disjoint slice of output rows, so no synchronization is needed.
+	par.ForChunks(dst.Rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			drow := dst.Row(r)
+			for x := range drow {
+				drow[x] = 0
+			}
+			for n := 0; n < a.Rows; n++ {
+				av := a.At(n, r)
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(n)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulABT computes dst = a · bᵀ without materializing the transpose.
+// Shapes: a is n×c, b is m×c, dst is n×m. The inner product over c is
+// contiguous in both operands. Used for input gradients (dX = dY·Wᵀ) and for
+// batched distance/dot computations.
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulABT shape mismatch")
+	}
+	par.ForChunks(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float32
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] = s
+			}
+		}
+	})
+}
+
+// AddRowVector adds vec to every row of m in place (broadcast bias add).
+func AddRowVector(m *Matrix, vec []float32) {
+	if len(vec) != m.Cols {
+		panic("tensor: AddRowVector length mismatch")
+	}
+	par.ForChunks(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j, v := range vec {
+				row[j] += v
+			}
+		}
+	})
+}
+
+// ColSums accumulates the per-column sums of m into dst (float64 accumulate,
+// float32 result). dst must have length m.Cols.
+func ColSums(dst []float32, m *Matrix) {
+	if len(dst) != m.Cols {
+		panic("tensor: ColSums length mismatch")
+	}
+	acc := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			acc[j] += float64(v)
+		}
+	}
+	for j := range dst {
+		dst[j] = float32(acc[j])
+	}
+}
+
+// Col extracts column j into a new slice.
+func (m *Matrix) Col(j int) []float32 {
+	out := make([]float32, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Equalish reports whether a and b have identical shape and all elements
+// within tol of each other. Intended for tests.
+func Equalish(a, b *Matrix, tol float32) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		d := v - b.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}

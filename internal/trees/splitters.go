@@ -1,0 +1,211 @@
+package trees
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/kmeans"
+	"repro/internal/vecmath"
+)
+
+// hyperplaneSplit is the common fitted form of all axis/direction splitters:
+// side 1 iff w·x > b, with soft score sigmoid((w·x − b)/scale).
+type hyperplaneSplit struct {
+	w     []float32
+	b     float32
+	scale float32
+}
+
+// Side implements Splitter.
+func (h *hyperplaneSplit) Side(q []float32) int {
+	if vecmath.Dot(h.w, q) > h.b {
+		return 1
+	}
+	return 0
+}
+
+// Score implements Splitter.
+func (h *hyperplaneSplit) Score(q []float32) float32 {
+	z := (vecmath.Dot(h.w, q) - h.b) / h.scale
+	return float32(1 / (1 + math.Exp(-float64(z))))
+}
+
+// newHyperplane finishes a direction into a median-threshold split with a
+// robust soft scale (the median absolute deviation of projections).
+// Returns nil when all projections coincide.
+func newHyperplane(ds *dataset.Dataset, idx []int32, w []float32) Splitter {
+	projs := make([]float32, len(idx))
+	for i, id := range idx {
+		projs[i] = vecmath.Dot(w, ds.Row(int(id)))
+	}
+	sorted := append([]float32(nil), projs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	median := sorted[len(sorted)/2]
+	if sorted[0] == sorted[len(sorted)-1] {
+		return nil // degenerate: no spread along w
+	}
+	// Median absolute deviation as the sigmoid temperature.
+	devs := make([]float32, len(projs))
+	for i, p := range projs {
+		d := p - median
+		if d < 0 {
+			d = -d
+		}
+		devs[i] = d
+	}
+	sort.Slice(devs, func(i, j int) bool { return devs[i] < devs[j] })
+	scale := devs[len(devs)/2]
+	if scale == 0 {
+		scale = devs[len(devs)-1] / 2
+	}
+	if scale == 0 {
+		return nil
+	}
+	return &hyperplaneSplit{w: w, b: median, scale: scale}
+}
+
+// RPFitter splits along a random unit direction at the median projection —
+// the random-projection trees of Dasgupta & Sinha (2013).
+type RPFitter struct{}
+
+// Name implements Fitter.
+func (RPFitter) Name() string { return "rp-tree" }
+
+// Fit implements Fitter.
+func (RPFitter) Fit(ds *dataset.Dataset, idx []int32, rng *rand.Rand) Splitter {
+	w := make([]float32, ds.Dim)
+	for j := range w {
+		w[j] = float32(rng.NormFloat64())
+	}
+	vecmath.Normalize(w)
+	return newHyperplane(ds, idx, w)
+}
+
+// KDFitter splits on the coordinate axis of maximum variance at the median —
+// the adaptive KD-tree variant evaluated as "learned KD-tree" in the paper
+// (after Cayton & Dasgupta 2007, which learns which axis to cut; maximum
+// variance is the standard data-adaptive criterion).
+type KDFitter struct{}
+
+// Name implements Fitter.
+func (KDFitter) Name() string { return "kd-tree" }
+
+// Fit implements Fitter.
+func (KDFitter) Fit(ds *dataset.Dataset, idx []int32, rng *rand.Rand) Splitter {
+	d := ds.Dim
+	mean := make([]float64, d)
+	m2 := make([]float64, d)
+	for _, id := range idx {
+		row := ds.Row(int(id))
+		for j, v := range row {
+			mean[j] += float64(v)
+			m2[j] += float64(v) * float64(v)
+		}
+	}
+	n := float64(len(idx))
+	bestAxis, bestVar := 0, -1.0
+	for j := 0; j < d; j++ {
+		mu := mean[j] / n
+		va := m2[j]/n - mu*mu
+		if va > bestVar {
+			bestVar, bestAxis = va, j
+		}
+	}
+	if bestVar <= 0 {
+		return nil
+	}
+	w := make([]float32, d)
+	w[bestAxis] = 1
+	return newHyperplane(ds, idx, w)
+}
+
+// PCAFitter splits along the top principal component (computed by power
+// iteration on the implicit covariance) at the median — PCA trees
+// (Sproull 1991; Abdullah et al. 2014).
+type PCAFitter struct {
+	// Iters bounds power iterations (default 30).
+	Iters int
+}
+
+// Name implements Fitter.
+func (PCAFitter) Name() string { return "pca-tree" }
+
+// Fit implements Fitter.
+func (f PCAFitter) Fit(ds *dataset.Dataset, idx []int32, rng *rand.Rand) Splitter {
+	iters := f.Iters
+	if iters == 0 {
+		iters = 30
+	}
+	d := ds.Dim
+	mu := make([]float32, d)
+	for _, id := range idx {
+		vecmath.AXPY(1, ds.Row(int(id)), mu)
+	}
+	vecmath.Scale(1/float32(len(idx)), mu)
+
+	v := make([]float32, d)
+	for j := range v {
+		v[j] = float32(rng.NormFloat64())
+	}
+	vecmath.Normalize(v)
+	centered := make([]float32, d)
+	next := make([]float32, d)
+	for it := 0; it < iters; it++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for _, id := range idx {
+			vecmath.Sub(centered, ds.Row(int(id)), mu)
+			vecmath.AXPY(vecmath.Dot(centered, v), centered, next)
+		}
+		if !vecmath.Normalize(next) {
+			return nil // zero covariance
+		}
+		copy(v, next)
+	}
+	return newHyperplane(ds, idx, append([]float32(nil), v...))
+}
+
+// TwoMeansFitter splits by a 2-means clustering of the subset; the split is
+// the perpendicular bisector hyperplane of the two centroids (so routing is
+// exactly nearest-centroid), giving the 2-means trees baseline.
+type TwoMeansFitter struct{}
+
+// Name implements Fitter.
+func (TwoMeansFitter) Name() string { return "2-means-tree" }
+
+// Fit implements Fitter.
+func (TwoMeansFitter) Fit(ds *dataset.Dataset, idx []int32, rng *rand.Rand) Splitter {
+	sub := ds.Subset(toInts(idx))
+	res, err := kmeans.Run(sub, 2, kmeans.Options{Seed: rng.Int63(), MaxIters: 15})
+	if err != nil {
+		return nil
+	}
+	c0, c1 := res.Centroids.Row(0), res.Centroids.Row(1)
+	w := make([]float32, ds.Dim)
+	vecmath.Sub(w, c1, c0)
+	if !vecmath.Normalize(w) {
+		return nil // coincident centroids
+	}
+	// Bisector threshold: w·midpoint.
+	mid := make([]float32, ds.Dim)
+	vecmath.Add(mid, c0, c1)
+	vecmath.Scale(0.5, mid)
+	b := vecmath.Dot(w, mid)
+	// Scale from the centroid gap for a sensible sigmoid temperature.
+	gap := vecmath.L2(c0, c1) / 4
+	if gap == 0 {
+		return nil
+	}
+	return &hyperplaneSplit{w: w, b: b, scale: gap}
+}
+
+func toInts(idx []int32) []int {
+	out := make([]int, len(idx))
+	for i, v := range idx {
+		out[i] = int(v)
+	}
+	return out
+}

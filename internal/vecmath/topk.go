@@ -1,0 +1,180 @@
+package vecmath
+
+import "sort"
+
+// Neighbor pairs an item index with a distance (or score). It is the unit of
+// currency for all top-k selection in the library.
+type Neighbor struct {
+	Index int
+	Dist  float32
+}
+
+// TopK maintains the k smallest-distance neighbors seen so far using a
+// bounded max-heap: the root is the current worst retained neighbor, so a new
+// candidate is admitted in O(log k) only when it beats the root.
+//
+// The zero value is not usable; construct with NewTopK.
+type TopK struct {
+	k    int
+	heap []Neighbor // max-heap on Dist
+}
+
+// NewTopK returns a selector retaining the k nearest neighbors.
+// k must be positive.
+func NewTopK(k int) *TopK {
+	if k <= 0 {
+		panic("vecmath: NewTopK requires k > 0")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Len reports how many neighbors are currently retained (≤ k).
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Worst returns the largest retained distance, or +Inf semantics via ok=false
+// when fewer than k neighbors have been pushed (meaning any candidate will be
+// admitted).
+func (t *TopK) Worst() (d float32, ok bool) {
+	if len(t.heap) < t.k {
+		return 0, false
+	}
+	return t.heap[0].Dist, true
+}
+
+// Push offers a candidate neighbor.
+func (t *TopK) Push(index int, dist float32) {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Neighbor{index, dist})
+		t.siftUp(len(t.heap) - 1)
+		return
+	}
+	if dist >= t.heap[0].Dist {
+		return
+	}
+	t.heap[0] = Neighbor{index, dist}
+	t.siftDown(0)
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}
+
+// Sorted drains the selector and returns the retained neighbors ordered by
+// ascending distance (ties broken by ascending index for determinism).
+// The selector is empty afterwards and may be reused.
+func (t *TopK) Sorted() []Neighbor {
+	out := t.heap
+	t.heap = make([]Neighbor, 0, t.k)
+	sortNeighbors(out)
+	return out
+}
+
+// Reset discards all retained neighbors, keeping capacity.
+func (t *TopK) Reset() { t.heap = t.heap[:0] }
+
+func sortNeighbors(ns []Neighbor) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].Dist != ns[j].Dist {
+			return ns[i].Dist < ns[j].Dist
+		}
+		return ns[i].Index < ns[j].Index
+	})
+}
+
+// TopKIndices returns the indices of the k largest values of x in descending
+// value order (ties broken by ascending index). If k exceeds len(x), all
+// indices are returned. Used to pick the m′ most probable bins from a model's
+// probability vector.
+func TopKIndices(x []float32, k int) []int {
+	n := len(x)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Full sort is fine: bin counts are small (m ≤ a few thousand).
+	sort.Slice(idx, func(a, b int) bool {
+		if x[idx[a]] != x[idx[b]] {
+			return x[idx[a]] > x[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
+// SelectKthLargest returns the k-th largest value of x (1-based: k=1 is the
+// maximum) using an in-place quickselect over a copy. It is used by the
+// balance loss to find the per-column probability window threshold in O(n).
+func SelectKthLargest(x []float32, k int) float32 {
+	if k <= 0 || k > len(x) {
+		panic("vecmath: SelectKthLargest k out of range")
+	}
+	buf := make([]float32, len(x))
+	copy(buf, x)
+	lo, hi := 0, len(buf)-1
+	target := k - 1 // index in descending order
+	for {
+		if lo == hi {
+			return buf[lo]
+		}
+		// Median-of-three pivot for resistance to sorted inputs.
+		mid := lo + (hi-lo)/2
+		if buf[mid] > buf[lo] {
+			buf[mid], buf[lo] = buf[lo], buf[mid]
+		}
+		if buf[hi] > buf[lo] {
+			buf[hi], buf[lo] = buf[lo], buf[hi]
+		}
+		if buf[mid] > buf[hi] {
+			buf[mid], buf[hi] = buf[hi], buf[mid]
+		}
+		pivot := buf[hi]
+		i := lo
+		for j := lo; j < hi; j++ {
+			if buf[j] > pivot { // descending partition
+				buf[i], buf[j] = buf[j], buf[i]
+				i++
+			}
+		}
+		buf[i], buf[hi] = buf[hi], buf[i]
+		switch {
+		case target == i:
+			return buf[i]
+		case target < i:
+			hi = i - 1
+		default:
+			lo = i + 1
+		}
+	}
+}

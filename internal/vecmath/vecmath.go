@@ -1,0 +1,178 @@
+// Package vecmath implements the low-level float32 vector kernels the rest of
+// the library is built on: distances, dot products, in-place BLAS-1 style
+// updates, and small utilities (argmax, top-k selection).
+//
+// Kernels are written with 4-way manual unrolling, which the Go compiler
+// turns into reasonably tight scalar loops; accumulation is done in float32
+// with a float64 variant provided where reduction precision matters.
+package vecmath
+
+import "math"
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length; this is a programmer-error invariant on the hot path, enforced by
+// bounds checks rather than an explicit panic.
+func Dot(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	b = b[:n] // eliminate bounds checks in the loop
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b.
+func SquaredL2(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b []float32) float32 {
+	return float32(math.Sqrt(float64(SquaredL2(a, b))))
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float32) float32 {
+	return float32(math.Sqrt(float64(Dot(a, a))))
+}
+
+// Cosine returns the cosine distance 1 - <a,b>/(|a||b|). Zero vectors are
+// treated as maximally distant (distance 1).
+func Cosine(a, b []float32) float32 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - Dot(a, b)/(na*nb)
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float32, x, y []float32) {
+	n := len(x)
+	y = y[:n]
+	for i := 0; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add computes dst = a + b elementwise. dst may alias a or b.
+func Add(dst, a, b []float32) {
+	n := len(a)
+	b, dst = b[:n], dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b elementwise. dst may alias a or b.
+func Sub(dst, a, b []float32) {
+	n := len(a)
+	b, dst = b[:n], dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Normalize scales x to unit Euclidean norm in place and reports whether it
+// succeeded (a zero vector is left unchanged and false is returned).
+func Normalize(x []float32) bool {
+	n := Norm(x)
+	if n == 0 {
+		return false
+	}
+	Scale(1/n, x)
+	return true
+}
+
+// Mean computes the arithmetic mean of the rows (each a []float32 of equal
+// length) into dst using float64 accumulation. dst must have the row length.
+func Mean(dst []float32, rows [][]float32) {
+	if len(rows) == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	acc := make([]float64, len(dst))
+	for _, r := range rows {
+		for i, v := range r {
+			acc[i] += float64(v)
+		}
+	}
+	inv := 1 / float64(len(rows))
+	for i := range dst {
+		dst[i] = float32(acc[i] * inv)
+	}
+}
+
+// ArgMax returns the index of the largest element of x, breaking ties toward
+// the smallest index. It returns -1 for an empty slice.
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := x[0], 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > best {
+			best, bi = x[i], i
+		}
+	}
+	return bi
+}
+
+// ArgMin returns the index of the smallest element of x, breaking ties toward
+// the smallest index. It returns -1 for an empty slice.
+func ArgMin(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := x[0], 0
+	for i := 1; i < len(x); i++ {
+		if x[i] < best {
+			best, bi = x[i], i
+		}
+	}
+	return bi
+}
+
+// Sum64 returns the sum of x accumulated in float64.
+func Sum64(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}

@@ -1,0 +1,266 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func randVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 127, 128, 129} {
+		a, b := randVec(rng, n), randVec(rng, n)
+		var want float64
+		for i := range a {
+			want += float64(a[i]) * float64(b[i])
+		}
+		if got := float64(Dot(a, b)); !almostEq(got, want, 1e-4) {
+			t.Fatalf("n=%d Dot=%v want %v", n, got, want)
+		}
+	}
+}
+
+func TestSquaredL2Properties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Symmetry, non-negativity, identity of indiscernibles.
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(64)
+		a, b := randVec(rng, n), randVec(rng, n)
+		dab, dba := SquaredL2(a, b), SquaredL2(b, a)
+		if dab < 0 {
+			t.Fatalf("negative squared distance %v", dab)
+		}
+		if dab != dba {
+			t.Fatalf("asymmetric: %v vs %v", dab, dba)
+		}
+		if d := SquaredL2(a, a); d != 0 {
+			t.Fatalf("d(a,a) = %v", d)
+		}
+	}
+}
+
+func TestL2TriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(32)
+		a, b, c := randVec(rng, n), randVec(rng, n), randVec(rng, n)
+		if float64(L2(a, c)) > float64(L2(a, b))+float64(L2(b, c))+1e-4 {
+			t.Fatalf("triangle inequality violated")
+		}
+	}
+}
+
+func TestCosineBoundsAndZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	zero := make([]float32, 8)
+	if d := Cosine(zero, randVec(rng, 8)); d != 1 {
+		t.Fatalf("cosine with zero vector = %v, want 1", d)
+	}
+	for trial := 0; trial < 100; trial++ {
+		a, b := randVec(rng, 16), randVec(rng, 16)
+		d := float64(Cosine(a, b))
+		if d < -1e-5 || d > 2+1e-5 {
+			t.Fatalf("cosine distance out of [0,2]: %v", d)
+		}
+	}
+	a := []float32{1, 2, 3}
+	if d := Cosine(a, a); !almostEq(float64(d), 0, 1e-6) {
+		t.Fatalf("cosine self distance = %v", d)
+	}
+}
+
+func TestAXPYScaleAddSub(t *testing.T) {
+	x := []float32{1, 2, 3}
+	y := []float32{10, 20, 30}
+	AXPY(2, x, y)
+	want := []float32{12, 24, 36}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY got %v", y)
+		}
+	}
+	Scale(0.5, y)
+	for i := range y {
+		if y[i] != want[i]/2 {
+			t.Fatalf("Scale got %v", y)
+		}
+	}
+	dst := make([]float32, 3)
+	Add(dst, x, x)
+	if dst[2] != 6 {
+		t.Fatalf("Add got %v", dst)
+	}
+	Sub(dst, dst, x)
+	if dst[2] != 3 {
+		t.Fatalf("Sub got %v", dst)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float32{3, 4}
+	if !Normalize(v) {
+		t.Fatal("Normalize failed on nonzero vector")
+	}
+	if !almostEq(float64(Norm(v)), 1, 1e-6) {
+		t.Fatalf("norm after normalize = %v", Norm(v))
+	}
+	z := []float32{0, 0}
+	if Normalize(z) {
+		t.Fatal("Normalize succeeded on zero vector")
+	}
+}
+
+func TestMean(t *testing.T) {
+	rows := [][]float32{{1, 2}, {3, 4}, {5, 6}}
+	dst := make([]float32, 2)
+	Mean(dst, rows)
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("Mean got %v", dst)
+	}
+	Mean(dst, nil)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("Mean of empty = %v, want zeros", dst)
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Fatal("empty arg should be -1")
+	}
+	x := []float32{1, 5, 5, -2}
+	if ArgMax(x) != 1 {
+		t.Fatalf("ArgMax = %d (tie must go to first)", ArgMax(x))
+	}
+	if ArgMin(x) != 3 {
+		t.Fatalf("ArgMin = %d", ArgMin(x))
+	}
+}
+
+func TestSum64(t *testing.T) {
+	if s := Sum64([]float32{1, 2, 3.5}); s != 6.5 {
+		t.Fatalf("Sum64 = %v", s)
+	}
+}
+
+func TestTopKMatchesSort(t *testing.T) {
+	// Property: TopK selection equals brute-force sort-then-truncate.
+	check := func(seed int64, kRaw uint8, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%500 + 1
+		k := int(kRaw)%64 + 1
+		dists := make([]float32, n)
+		for i := range dists {
+			dists[i] = float32(rng.NormFloat64())
+		}
+		tk := NewTopK(k)
+		for i, d := range dists {
+			tk.Push(i, d)
+		}
+		got := tk.Sorted()
+
+		all := make([]Neighbor, n)
+		for i, d := range dists {
+			all[i] = Neighbor{i, d}
+		}
+		sortNeighbors(all)
+		want := all
+		if k < n {
+			want = all[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKWorst(t *testing.T) {
+	tk := NewTopK(2)
+	if _, ok := tk.Worst(); ok {
+		t.Fatal("Worst should report not-full")
+	}
+	tk.Push(0, 5)
+	tk.Push(1, 1)
+	if w, ok := tk.Worst(); !ok || w != 5 {
+		t.Fatalf("Worst = %v,%v", w, ok)
+	}
+	tk.Push(2, 3)
+	if w, _ := tk.Worst(); w != 3 {
+		t.Fatalf("Worst after eviction = %v", w)
+	}
+	tk.Reset()
+	if tk.Len() != 0 {
+		t.Fatal("Reset did not empty")
+	}
+}
+
+func TestTopKIndices(t *testing.T) {
+	x := []float32{0.1, 0.9, 0.5, 0.9}
+	got := TopKIndices(x, 3)
+	want := []int{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopKIndices = %v, want %v", got, want)
+		}
+	}
+	if len(TopKIndices(x, 10)) != 4 {
+		t.Fatal("k > n should clamp")
+	}
+	if TopKIndices(x, 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestSelectKthLargestMatchesSort(t *testing.T) {
+	check := func(seed int64, kRaw uint8, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%300 + 1
+		k := int(kRaw)%n + 1
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.Intn(50)) // duplicates on purpose
+		}
+		got := SelectKthLargest(x, k)
+		sorted := make([]float32, n)
+		copy(sorted, x)
+		for i := 0; i < n; i++ { // insertion sort descending
+			for j := i; j > 0 && sorted[j] > sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		return got == sorted[k-1]
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectKthLargestPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k out of range")
+		}
+	}()
+	SelectKthLargest([]float32{1}, 2)
+}

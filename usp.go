@@ -1,0 +1,266 @@
+// Package usp is the public API of this repository: an implementation of
+// "Unsupervised Space Partitioning for Nearest Neighbor Search" (Fahim, Ali
+// & Cheema, EDBT 2023).
+//
+// The package trains a neural (or logistic-regression) model to partition a
+// vector dataset into bins with the paper's unsupervised two-term loss — a
+// quality cost keeping k′-NN neighborhoods together and a computational cost
+// keeping bins balanced — and answers approximate k-NN queries by probing
+// the most probable bins. Ensembles of complementary partitions and
+// hierarchical (recursive) partitioning are supported, as are plain
+// clustering labels (the paper's §5.5 usage).
+//
+// Quick start:
+//
+//	ix, err := usp.Build(vectors, usp.Options{Bins: 16, Ensemble: 3})
+//	...
+//	results, err := ix.Search(query, 10, usp.SearchOptions{Probes: 2})
+//
+// The internal packages additionally contain every baseline the paper
+// evaluates against (Neural LSH, K-means, LSH, partitioning trees, ScaNN,
+// HNSW, IVF-PQ, DBSCAN, spectral clustering); see DESIGN.md.
+package usp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+// Options configures Build.
+type Options struct {
+	// Bins is the number of partition cells m (default 16). When
+	// Hierarchy is non-empty it is ignored in favor of the level product.
+	Bins int
+	// KPrime is the neighborhood width k′ of the offline k′-NN matrix
+	// (default 10, the paper's choice).
+	KPrime int
+	// Eta is the balance weight η of the loss (default 10).
+	Eta float64
+	// Epochs of training per model (default 60).
+	Epochs int
+	// BatchSize for mini-batch sampling (default max(64, n/25) ≈ 4%).
+	BatchSize int
+	// Hidden lists MLP hidden widths (default [128], the paper's network;
+	// set Logistic to force a linear model instead).
+	Hidden []int
+	// Logistic selects the single-layer logistic-regression architecture.
+	Logistic bool
+	// Dropout probability on hidden layers (default 0.1).
+	Dropout float64
+	// Ensemble is the number of boosted models e (default 1).
+	Ensemble int
+	// Hierarchy, when non-empty, trains a recursive partition with the
+	// given per-level branching factors (e.g. [16, 16] for 256 bins).
+	// Mutually exclusive with Ensemble > 1.
+	Hierarchy []int
+	// Seed makes the build reproducible.
+	Seed int64
+	// Logf receives progress lines when set.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bins == 0 {
+		o.Bins = 16
+	}
+	if o.KPrime == 0 {
+		o.KPrime = 10
+	}
+	if o.Eta == 0 {
+		o.Eta = 10
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 60
+	}
+	if o.Hidden == nil && !o.Logistic {
+		o.Hidden = []int{128}
+	}
+	if o.Logistic {
+		o.Hidden = nil
+	}
+	if o.Dropout == 0 && len(o.Hidden) > 0 {
+		o.Dropout = 0.1
+	}
+	if o.Ensemble == 0 {
+		o.Ensemble = 1
+	}
+	return o
+}
+
+// Result is one returned neighbor.
+type Result struct {
+	ID       int
+	Distance float32 // squared Euclidean distance
+}
+
+// BuildStats summarizes the offline phase.
+type BuildStats struct {
+	// Bins is the total number of partition cells.
+	Bins int
+	// Models is the number of trained models (ensemble members or
+	// hierarchy nodes).
+	Models int
+	// Params is the total learnable parameter count (Table 2's metric).
+	Params int
+}
+
+// SearchOptions configures a query.
+type SearchOptions struct {
+	// Probes is m′, the number of most-probable bins scanned (default 1).
+	Probes int
+	// UnionEnsemble unions every ensemble member's candidates instead of
+	// the paper's best-confidence selection (Algorithm 4).
+	UnionEnsemble bool
+}
+
+// Index is a built USP index over a dataset.
+type Index struct {
+	data  *dataset.Dataset
+	ens   *core.Ensemble
+	hier  *core.Hierarchy
+	stats BuildStats
+}
+
+// Build trains a USP index over the given vectors (all of equal length).
+func Build(vectors [][]float32, opt Options) (*Index, error) {
+	if len(vectors) < 4 {
+		return nil, errors.New("usp: need at least 4 vectors")
+	}
+	opt = opt.withDefaults()
+	ds := dataset.FromRowsCopy(vectors)
+	if len(opt.Hierarchy) > 0 && opt.Ensemble > 1 {
+		return nil, errors.New("usp: Hierarchy and Ensemble > 1 are mutually exclusive")
+	}
+
+	cfg := core.Config{
+		Bins:      opt.Bins,
+		KPrime:    opt.KPrime,
+		Eta:       opt.Eta,
+		Epochs:    opt.Epochs,
+		BatchSize: opt.BatchSize,
+		Hidden:    opt.Hidden,
+		Dropout:   opt.Dropout,
+		Seed:      opt.Seed,
+		Logf:      opt.Logf,
+	}
+
+	ix := &Index{data: ds}
+	if len(opt.Hierarchy) > 0 {
+		h, stats, err := core.TrainHierarchy(ds, opt.Hierarchy, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("usp: %w", err)
+		}
+		ix.hier = h
+		ix.stats = BuildStats{Bins: h.NumBins, Models: len(stats), Params: h.TotalParams()}
+		return ix, nil
+	}
+
+	kp := cfg.KPrime
+	if kp >= ds.N {
+		kp = ds.N - 1
+		cfg.KPrime = kp
+	}
+	mat := knn.BuildMatrix(ds, kp)
+	ens, stats, err := core.TrainEnsemble(ds, mat, cfg, opt.Ensemble)
+	if err != nil {
+		return nil, fmt.Errorf("usp: %w", err)
+	}
+	ix.ens = ens
+	ix.stats = BuildStats{
+		Bins:   opt.Bins,
+		Models: ens.Size(),
+		Params: stats.TotalParams(),
+	}
+	return ix, nil
+}
+
+// Stats reports offline-phase metrics.
+func (ix *Index) Stats() BuildStats { return ix.stats }
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return ix.data.N }
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.data.Dim }
+
+// CandidateSet returns the ids the index would scan for q (Algorithm 2,
+// step 2) — exposed so callers can hand candidates to their own scorer
+// (e.g. a ScaNN pipeline, as in §5.4.3).
+func (ix *Index) CandidateSet(q []float32, opt SearchOptions) ([]int, error) {
+	if len(q) != ix.data.Dim {
+		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.data.Dim)
+	}
+	probes := opt.Probes
+	if probes <= 0 {
+		probes = 1
+	}
+	if ix.hier != nil {
+		return ix.hier.Candidates(q, probes), nil
+	}
+	mode := core.BestConfidence
+	if opt.UnionEnsemble {
+		mode = core.UnionProbe
+	}
+	return ix.ens.Candidates(q, probes, mode), nil
+}
+
+// Search returns the k approximate nearest neighbors of q.
+func (ix *Index) Search(q []float32, k int, opt SearchOptions) ([]Result, error) {
+	if k <= 0 {
+		return nil, errors.New("usp: k must be positive")
+	}
+	cands, err := ix.CandidateSet(q, opt)
+	if err != nil {
+		return nil, err
+	}
+	ns := knn.SearchSubset(ix.data, cands, q, k)
+	out := make([]Result, len(ns))
+	for i, n := range ns {
+		out[i] = Result{ID: n.Index, Distance: n.Dist}
+	}
+	return out, nil
+}
+
+// Add inserts a new vector into the index without retraining: the trained
+// model routes it to its most probable bin(s), the same decision rule
+// queries use, so it is immediately findable. Returns the new vector's id.
+// Heavy drift from the training distribution degrades partition quality;
+// rebuild periodically under churn.
+func (ix *Index) Add(vec []float32) (int, error) {
+	if len(vec) != ix.data.Dim {
+		return 0, fmt.Errorf("usp: vector dim %d, index dim %d", len(vec), ix.data.Dim)
+	}
+	id := ix.data.N
+	ix.data.Append(vec)
+	if ix.hier != nil {
+		ix.hier.Insert(id, vec)
+	} else {
+		ix.ens.Insert(id, vec)
+	}
+	return id, nil
+}
+
+// Cluster trains a single USP model with k bins and returns a cluster label
+// per vector — the paper's use of the partitioner as an unsupervised
+// clustering method (§5.5).
+func Cluster(vectors [][]float32, k int, opt Options) ([]int, error) {
+	if len(vectors) < k {
+		return nil, fmt.Errorf("usp: %d vectors cannot form %d clusters", len(vectors), k)
+	}
+	opt = opt.withDefaults()
+	ds := dataset.FromRowsCopy(vectors)
+	return core.ClusterLabels(ds, k, core.Config{
+		KPrime:    opt.KPrime,
+		Eta:       opt.Eta,
+		Epochs:    opt.Epochs,
+		BatchSize: opt.BatchSize,
+		Hidden:    opt.Hidden,
+		Dropout:   opt.Dropout,
+		Seed:      opt.Seed,
+		Logf:      opt.Logf,
+	})
+}
