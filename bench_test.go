@@ -132,6 +132,69 @@ func BenchmarkQuery(b *testing.B) {
 	}
 }
 
+// --- Batched query-engine benchmarks. ---
+//
+// BenchmarkSearcherSingle is the single-goroutine QPS baseline;
+// BenchmarkSearchBatch fans the same queries out over the worker pool. On a
+// multi-core runner the batch path must beat the single-goroutine baseline
+// by roughly the core count (the acceptance target is ≥ 4× on 8 cores);
+// on a single-core runner the two coincide.
+
+func benchIndex(b *testing.B) (*Index, [][]float32) {
+	b.Helper()
+	ds := benchVectors(4000, 64)
+	ix, err := Build(ds.Rows(), Options{
+		Bins: 16, Ensemble: 2, Epochs: 10, Hidden: []int{32}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float32, 256)
+	for i := range queries {
+		queries[i] = ds.Row(i % ds.N)
+	}
+	return ix, queries
+}
+
+func BenchmarkSearcherSingle(b *testing.B) {
+	ix, queries := benchIndex(b)
+	s := ix.NewSearcher()
+	dst := make([]Result, 0, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = s.SearchInto(dst[:0], queries[i%len(queries)], 10, SearchOptions{Probes: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexSearch(b *testing.B) {
+	// The legacy convenience entry point (pooled Searcher under the hood).
+	ix, queries := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(queries[i%len(queries)], 10, SearchOptions{Probes: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchBatch(b *testing.B) {
+	ix, queries := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.SearchBatch(queries, 10, SearchOptions{Probes: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(queries)), "queries/op")
+}
+
 func BenchmarkBruteForceQuery(b *testing.B) {
 	for _, n := range []int{1000, 4000} {
 		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {

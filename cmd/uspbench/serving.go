@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	usp "repro"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+// servingBench measures the online serving path — the quantities the
+// zero-allocation query engine is accountable for — and writes them as JSON
+// so successive PRs have a machine-readable perf trajectory to diff against.
+type servingBench struct {
+	Timestamp    string  `json:"timestamp"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	N            int     `json:"n"`
+	Dim          int     `json:"dim"`
+	Queries      int     `json:"queries"`
+	K            int     `json:"k"`
+	Probes       int     `json:"probes"`
+	BuildSeconds float64 `json:"build_seconds"`
+	// QPSSingle is one goroutine issuing Searcher.SearchInto in a loop.
+	QPSSingle float64 `json:"qps_single"`
+	// QPSBatch is Index.SearchBatch over the whole query set.
+	QPSBatch float64 `json:"qps_batch"`
+	// Recall10 is recall@10 of the probed configuration vs exact search.
+	Recall10 float64 `json:"recall_at_10"`
+	// AllocsPerOp is testing.AllocsPerRun over Searcher.SearchInto with a
+	// recycled destination (steady-state engine allocations; target 0).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// AvgCandidates is the mean candidate-set size |C(q)|.
+	AvgCandidates float64 `json:"avg_candidates"`
+}
+
+// servingBenchConfig carries the overridable knobs of the serving benchmark;
+// zero fields take the defaults below, so the shared uspbench flags
+// (-sift-n, -queries, -epochs, -ensemble, -seed) apply to -bench-json too.
+type servingBenchConfig struct {
+	N        int
+	Queries  int
+	Epochs   int
+	Ensemble int
+	Seed     int64
+}
+
+// runServingBench builds a SIFT-like index and measures serving QPS, recall
+// and allocation behavior, writing the report to path.
+func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...any)) error {
+	const k, probes = 10, 2
+	n, nq, epochs, ensemble, seed := cfg.N, cfg.Queries, cfg.Epochs, cfg.Ensemble, cfg.Seed
+	if n == 0 {
+		n = 8000
+	}
+	if nq == 0 {
+		nq = 256
+	}
+	if epochs == 0 {
+		epochs = 15
+	}
+	if ensemble == 0 {
+		ensemble = 2
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base := dataset.SIFTLike(n+nq, rng)
+	train, queries := dataset.SplitQueries(base, nq, rng)
+
+	logf("serving bench: building index over %d×%d...", train.N, train.Dim)
+	start := time.Now()
+	ix, err := usp.Build(train.Rows(), usp.Options{
+		Bins: 16, Ensemble: ensemble, Epochs: epochs, Hidden: []int{64}, Seed: seed + 7,
+	})
+	if err != nil {
+		return fmt.Errorf("building index: %w", err)
+	}
+	buildSecs := time.Since(start).Seconds()
+
+	opt := usp.SearchOptions{Probes: probes}
+	qrows := queries.Rows()
+
+	// Recall and candidate volume against exact ground truth.
+	gt := knn.GroundTruth(train, queries, k)
+	s := ix.NewSearcher()
+	var recall float64
+	var candTotal int
+	dst := make([]usp.Result, 0, k)
+	ids := make([]int, 0, k)
+	for qi, q := range qrows {
+		dst, err = s.SearchInto(dst[:0], q, k, opt)
+		if err != nil {
+			return err
+		}
+		ids = ids[:0]
+		for _, r := range dst {
+			ids = append(ids, r.ID)
+		}
+		recall += knn.Recall(ids, gt[qi])
+		candTotal += s.Scanned()
+	}
+	recall /= float64(len(qrows))
+
+	// Steady-state allocations per query through the reusable-scratch path.
+	allocs := testing.AllocsPerRun(200, func() {
+		dst, _ = s.SearchInto(dst[:0], qrows[0], k, opt)
+	})
+
+	// Single-goroutine QPS.
+	const rounds = 8
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range qrows {
+			if dst, err = s.SearchInto(dst[:0], q, k, opt); err != nil {
+				return err
+			}
+		}
+	}
+	qpsSingle := float64(rounds*len(qrows)) / time.Since(start).Seconds()
+
+	// Batched QPS over the worker pool.
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		if _, err = ix.SearchBatch(qrows, k, opt); err != nil {
+			return err
+		}
+	}
+	qpsBatch := float64(rounds*len(qrows)) / time.Since(start).Seconds()
+
+	rep := servingBench{
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		N:             train.N,
+		Dim:           train.Dim,
+		Queries:       len(qrows),
+		K:             k,
+		Probes:        probes,
+		BuildSeconds:  buildSecs,
+		QPSSingle:     qpsSingle,
+		QPSBatch:      qpsBatch,
+		Recall10:      recall,
+		AllocsPerOp:   allocs,
+		AvgCandidates: float64(candTotal) / float64(len(qrows)),
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serving bench: qps_single=%.0f qps_batch=%.0f recall@10=%.3f allocs/op=%.1f → %s\n",
+		qpsSingle, qpsBatch, recall, allocs, path)
+	return nil
+}

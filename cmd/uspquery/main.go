@@ -54,11 +54,12 @@ func main() {
 	if *union {
 		mode = core.UnionProbe
 	}
+	var qs core.QueryScratch // one scratch across the whole query file
 	candidates := func(q []float32) []int {
 		if hier != nil {
-			return hier.Candidates(q, *probes)
+			return hier.CandidatesWith(&qs, q, *probes)
 		}
-		return ens.Candidates(q, *probes, mode)
+		return ens.CandidatesWith(&qs, q, *probes, mode)
 	}
 	start := time.Now()
 	totalCands := 0

@@ -2,10 +2,19 @@
 // startup, then serves JSON k-NN queries over HTTP — the distributed-
 // serving setting §2.2.2 argues space partitioning is naturally suited to.
 //
+// Request handling rides the zero-allocation query engine: a sync.Pool
+// recycles usp.Searchers across requests (each owns its scratch buffers), a
+// /search/batch endpoint fans multi-query requests out over the worker pool,
+// and /add streams new vectors into the live index — safe concurrently with
+// searches thanks to the index's reader/writer locking.
+//
 //	go run ./examples/server -addr :8080
 //	curl -s localhost:8080/stats
 //	curl -s -X POST localhost:8080/search \
 //	     -d '{"vector": [ ...64 floats... ], "k": 5, "probes": 2}'
+//	curl -s -X POST localhost:8080/search/batch \
+//	     -d '{"vectors": [[...], [...]], "k": 5, "probes": 2}'
+//	curl -s -X POST localhost:8080/add -d '{"vector": [ ...64 floats... ]}'
 //
 // Run with -demo to start, fire a few requests through the full HTTP stack,
 // and exit (used by the repository's smoke tests).
@@ -20,6 +29,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	usp "repro"
@@ -39,8 +49,48 @@ type searchResponse struct {
 	Elapsed   string    `json:"elapsed"`
 }
 
+type batchSearchRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+	K       int         `json:"k"`
+	Probes  int         `json:"probes"`
+}
+
+type batchSearchResponse struct {
+	IDs       [][]int     `json:"ids"`
+	Distances [][]float32 `json:"distances"`
+	Elapsed   string      `json:"elapsed"`
+}
+
+type addRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+type addResponse struct {
+	ID int `json:"id"`
+}
+
 type server struct {
 	ix *usp.Index
+	// searchers recycles query contexts across requests: each Searcher owns
+	// the scratch buffers of one in-flight query, so steady-state request
+	// handling does not allocate on the search path.
+	searchers sync.Pool
+}
+
+func newServer(ix *usp.Index) *server {
+	s := &server{ix: ix}
+	s.searchers.New = func() any { return ix.NewSearcher() }
+	return s
+}
+
+func defaulted(k, probes int) (int, int) {
+	if k <= 0 {
+		k = 10
+	}
+	if probes <= 0 {
+		probes = 1
+	}
+	return k, probes
 }
 
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -53,25 +103,16 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if req.K <= 0 {
-		req.K = 10
-	}
-	if req.Probes <= 0 {
-		req.Probes = 1
-	}
+	req.K, req.Probes = defaulted(req.K, req.Probes)
 	start := time.Now()
-	opt := usp.SearchOptions{Probes: req.Probes}
-	cands, err := s.ix.CandidateSet(req.Vector, opt)
+	sr := s.searchers.Get().(*usp.Searcher)
+	defer s.searchers.Put(sr)
+	res, err := sr.Search(req.Vector, req.K, usp.SearchOptions{Probes: req.Probes})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.ix.Search(req.Vector, req.K, opt)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	resp := searchResponse{Scanned: len(cands), Elapsed: time.Since(start).String()}
+	resp := searchResponse{Scanned: sr.Scanned(), Elapsed: time.Since(start).String()}
 	for _, n := range res {
 		resp.IDs = append(resp.IDs, n.ID)
 		resp.Distances = append(resp.Distances, n.Distance)
@@ -79,6 +120,63 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		log.Printf("encoding response: %v", err)
+	}
+}
+
+func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req batchSearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.K, req.Probes = defaulted(req.K, req.Probes)
+	start := time.Now()
+	results, err := s.ix.SearchBatch(req.Vectors, req.K, usp.SearchOptions{Probes: req.Probes})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := batchSearchResponse{
+		IDs:       make([][]int, len(results)),
+		Distances: make([][]float32, len(results)),
+	}
+	for i, res := range results {
+		ids := make([]int, len(res))
+		ds := make([]float32, len(res))
+		for j, n := range res {
+			ids[j], ds[j] = n.ID, n.Distance
+		}
+		resp.IDs[i], resp.Distances[i] = ids, ds
+	}
+	resp.Elapsed = time.Since(start).String()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("encoding batch response: %v", err)
+	}
+}
+
+func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req addRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := s.ix.Add(req.Vector)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(addResponse{ID: id}); err != nil {
+		log.Printf("encoding add response: %v", err)
 	}
 }
 
@@ -112,10 +210,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := &server{ix: ix}
+	s := newServer(ix)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/search/batch", s.handleSearchBatch)
+	mux.HandleFunc("/add", s.handleAdd)
 	mux.HandleFunc("/stats", s.handleStats)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -161,6 +261,52 @@ func main() {
 	fmt.Printf("search: ids=%v scanned=%d elapsed=%s\n", sr.IDs, sr.Scanned, sr.Elapsed)
 	if len(sr.IDs) != 5 || sr.IDs[0] != 3 {
 		log.Fatalf("demo self-check failed: %+v", sr)
+	}
+
+	// Batch search: rows 3, 7, 11 must each be their own nearest neighbor.
+	bbody, _ := json.Marshal(batchSearchRequest{
+		Vectors: [][]float32{corpus.Row(3), corpus.Row(7), corpus.Row(11)},
+		K:       3, Probes: 2,
+	})
+	resp, err = http.Post(base+"/search/batch", "application/json", bytes.NewReader(bbody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var br batchSearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("batch search: ids=%v elapsed=%s\n", br.IDs, br.Elapsed)
+	if len(br.IDs) != 3 || br.IDs[0][0] != 3 || br.IDs[1][0] != 7 || br.IDs[2][0] != 11 {
+		log.Fatalf("batch demo self-check failed: %+v", br)
+	}
+
+	// Add a vector, then find it.
+	nv := append([]float32(nil), corpus.Row(5)...)
+	nv[0] += 0.01
+	abody, _ := json.Marshal(addRequest{Vector: nv})
+	resp, err = http.Post(base+"/add", "application/json", bytes.NewReader(abody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ar addResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	body, _ = json.Marshal(searchRequest{Vector: nv, K: 1, Probes: 2})
+	resp, err = http.Post(base+"/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("add+search: id=%d found=%v\n", ar.ID, sr.IDs)
+	if len(sr.IDs) != 1 || sr.IDs[0] != ar.ID {
+		log.Fatalf("add demo self-check failed: added %d, found %v", ar.ID, sr.IDs)
 	}
 	fmt.Println("demo OK")
 	_ = srv.Close()

@@ -33,10 +33,11 @@ func TestTrainPartitionInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Every point appears in exactly one bin and Assign agrees with Bins.
+	// Every point appears in exactly one bin and Assign agrees with the
+	// CSR lookup table.
 	seen := make([]int, ds.N)
-	for b, pts := range p.Bins {
-		for _, i := range pts {
+	for b := 0; b < p.M; b++ {
+		for _, i := range p.BinList(b) {
 			seen[i]++
 			if p.Assign[i] != int32(b) {
 				t.Fatalf("point %d: Assign=%d but in bin %d", i, p.Assign[i], b)
@@ -189,8 +190,8 @@ func TestTrainLogisticModel(t *testing.T) {
 	if want := 4*2 + 2; stats.Params != want {
 		t.Fatalf("logistic params = %d, want %d", stats.Params, want)
 	}
-	if len(p.Bins) != 2 {
-		t.Fatalf("bins = %d", len(p.Bins))
+	if len(p.BinSizes()) != 2 {
+		t.Fatalf("bins = %d", len(p.BinSizes()))
 	}
 }
 

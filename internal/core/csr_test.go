@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+// referenceBins rebuilds the old [][]int32 lookup-table form straight from
+// Assign — the layout the seed implementation stored — so CSR probing can be
+// checked against it exactly.
+func referenceBins(assign []int32, m int) [][]int32 {
+	bins := make([][]int32, m)
+	for i, b := range assign {
+		bins[b] = append(bins[b], int32(i))
+	}
+	return bins
+}
+
+func TestCSRMatchesReferenceLayout(t *testing.T) {
+	ds, mat := testData(t, 500, 8, 4, 30)
+	p, _, err := Train(ds, mat, smallCfg(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceBins(p.Assign, p.M)
+	for b := 0; b < p.M; b++ {
+		got := p.BinList(b)
+		if len(got) != len(ref[b]) {
+			t.Fatalf("bin %d: %d ids, want %d", b, len(got), len(ref[b]))
+		}
+		for i := range got {
+			if got[i] != ref[b][i] {
+				t.Fatalf("bin %d[%d]: id %d, want %d", b, i, got[i], ref[b][i])
+			}
+		}
+		if p.BinLen(b) != len(ref[b]) {
+			t.Fatalf("BinLen(%d) = %d, want %d", b, p.BinLen(b), len(ref[b]))
+		}
+	}
+}
+
+func TestCSRSurvivesInserts(t *testing.T) {
+	ds, mat := testData(t, 400, 8, 4, 31)
+	p, _, err := Train(ds, mat, smallCfg(4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Route a few new points in; the reference built from the extended
+	// Assign must still match (CSR range followed by spill).
+	for j := 0; j < 10; j++ {
+		vec := ds.Row(j % ds.N)
+		p.Insert(ds.N+j, vec)
+	}
+	ref := referenceBins(p.Assign, p.M)
+	total := 0
+	for b := 0; b < p.M; b++ {
+		got := p.BinList(b)
+		if len(got) != len(ref[b]) {
+			t.Fatalf("bin %d after inserts: %d ids, want %d", b, len(got), len(ref[b]))
+		}
+		for i := range got {
+			if got[i] != ref[b][i] {
+				t.Fatalf("bin %d[%d] after inserts: id %d, want %d", b, i, got[i], ref[b][i])
+			}
+		}
+		total += p.BinLen(b)
+	}
+	if total != ds.N+10 {
+		t.Fatalf("bins hold %d ids, want %d", total, ds.N+10)
+	}
+	// BinLists (serialization form) must also include spill ids.
+	lists := p.BinLists()
+	count := 0
+	for _, l := range lists {
+		count += len(l)
+	}
+	if count != ds.N+10 {
+		t.Fatalf("BinLists holds %d ids, want %d", count, ds.N+10)
+	}
+}
+
+// TestAppendCandidatesMatchesLegacyPipeline recomputes the seed's candidate
+// pipeline — PredictVec probabilities, TopKIndices bin selection, per-bin id
+// copy — and requires the scratch-based AppendCandidates path to reproduce it
+// id for id (the model inference fast path is bit-identical, so candidate
+// sets must be too).
+func TestAppendCandidatesMatchesLegacyPipeline(t *testing.T) {
+	ds, mat := testData(t, 500, 8, 4, 32)
+	ens, _, err := TrainEnsemble(ds, mat, smallCfg(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs QueryScratch
+	var dst []int32
+	for qi := 0; qi < 40; qi++ {
+		q := ds.Row(qi)
+		for _, mPrime := range []int{1, 2, 4} {
+			// Legacy best-confidence reference.
+			bestConf := float32(-1)
+			var bestProbs []float32
+			var bestPart *Partitioner
+			for _, p := range ens.Parts {
+				probs := p.Probabilities(q)
+				if c := probs[vecmath.ArgMax(probs)]; c > bestConf {
+					bestConf, bestProbs, bestPart = c, probs, p
+				}
+			}
+			ref := referenceBins(bestPart.Assign, bestPart.M)
+			var want []int32
+			for _, b := range vecmath.TopKIndices(bestProbs, mPrime) {
+				want = append(want, ref[b]...)
+			}
+
+			dst = ens.AppendCandidates(dst[:0], q, mPrime, BestConfidence, &qs)
+			if len(dst) != len(want) {
+				t.Fatalf("q%d m'=%d: %d candidates, want %d", qi, mPrime, len(dst), len(want))
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("q%d m'=%d: candidate[%d] = %d, want %d", qi, mPrime, i, dst[i], want[i])
+				}
+			}
+
+			// Union mode must agree with the allocating wrapper.
+			union := ens.Candidates(q, mPrime, UnionProbe)
+			dst = ens.AppendCandidates(dst[:0], q, mPrime, UnionProbe, &qs)
+			if len(dst) != len(union) {
+				t.Fatalf("q%d m'=%d union: %d vs %d", qi, mPrime, len(dst), len(union))
+			}
+			for i := range union {
+				if int(dst[i]) != union[i] {
+					t.Fatalf("q%d m'=%d union[%d]: %d vs %d", qi, mPrime, i, dst[i], union[i])
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchyAppendCandidatesMatchesCandidates(t *testing.T) {
+	ds, _ := testData(t, 400, 8, 4, 34)
+	cfg := Config{KPrime: 5, Eta: 5, Epochs: 10, BatchSize: 128, Hidden: []int{8}, Seed: 3}
+	h, _, err := TrainHierarchy(ds, []int{2, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs QueryScratch
+	var dst []int32
+	for qi := 0; qi < 30; qi++ {
+		q := ds.Row(qi)
+		for _, mPrime := range []int{1, 2, 4} {
+			want := h.Candidates(q, mPrime)
+			dst = h.AppendCandidates(dst[:0], q, mPrime, &qs)
+			if len(dst) != len(want) {
+				t.Fatalf("q%d m'=%d: %d vs %d candidates", qi, mPrime, len(dst), len(want))
+			}
+			for i := range want {
+				if int(dst[i]) != want[i] {
+					t.Fatalf("q%d m'=%d: candidate[%d] = %d, want %d", qi, mPrime, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendCandidatesNaNQueryDegradesGracefully: a query whose forward
+// pass overflows produces all-NaN probabilities; every confidence
+// comparison fails, so the engine must return an empty candidate set (the
+// legacy behavior) rather than panic or reuse a stale distribution from a
+// previous query on the same warm scratch.
+func TestAppendCandidatesNaNQueryDegradesGracefully(t *testing.T) {
+	ds, mat := testData(t, 300, 8, 4, 36)
+	ens, _, err := TrainEnsemble(ds, mat, smallCfg(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qs QueryScratch
+	// Warm the scratch with a normal query first so qs.best holds a real
+	// distribution the NaN query must not inherit.
+	warm := ens.AppendCandidates(nil, ds.Row(0), 2, BestConfidence, &qs)
+	if len(warm) == 0 {
+		t.Fatal("warm query returned no candidates")
+	}
+	huge := make([]float32, ds.Dim)
+	for i := range huge {
+		huge[i] = 3e38
+	}
+	got := ens.AppendCandidates(nil, huge, 2, BestConfidence, &qs)
+	if len(got) != 0 {
+		t.Fatalf("NaN-probability query returned %d candidates, want 0", len(got))
+	}
+	// The legacy wrapper must agree.
+	if c := ens.Candidates(huge, 2, BestConfidence); len(c) != 0 {
+		t.Fatalf("legacy wrapper returned %d candidates, want 0", len(c))
+	}
+	// And the scratch must still work for normal queries afterwards.
+	after := ens.AppendCandidates(nil, ds.Row(0), 2, BestConfidence, &qs)
+	if len(after) != len(warm) {
+		t.Fatalf("scratch damaged by NaN query: %d vs %d candidates", len(after), len(warm))
+	}
+}
+
+func TestQueryScratchSeenGenerationWrap(t *testing.T) {
+	var qs QueryScratch
+	qs.seen = make([]uint32, 4)
+	qs.gen = ^uint32(0) - 1
+	g1 := qs.beginSeen(4)
+	qs.seen[2] = g1
+	g2 := qs.beginSeen(4) // wraps to 0 → must reset stamps and restart at 1
+	if g2 == 0 {
+		t.Fatal("generation 0 must never be handed out")
+	}
+	if qs.seen[2] == g2 {
+		t.Fatal("stale stamp survived generation wrap")
+	}
+}

@@ -93,43 +93,76 @@ const (
 	UnionProbe
 )
 
-// Candidates returns the ensemble's candidate set for q, probing the mPrime
-// most probable bins of the selected model(s).
-func (e *Ensemble) Candidates(q []float32, mPrime int, mode ProbeMode) []int {
+// AppendCandidates appends the ensemble's candidate set for q to dst,
+// probing the mPrime most probable bins of the selected model(s). All
+// intermediates live in qs, so a warmed scratch makes the call allocation-
+// free beyond growth of dst.
+func (e *Ensemble) AppendCandidates(dst []int32, q []float32, mPrime int, mode ProbeMode, qs *QueryScratch) []int32 {
 	switch mode {
 	case BestConfidence:
-		best, bestConf := 0, float32(-1)
-		var bestProbs []float32
-		for j, p := range e.Parts {
-			probs := p.Probabilities(q)
-			if c := probs[vecmath.ArgMax(probs)]; c > bestConf {
-				best, bestConf, bestProbs = j, c, probs
-			}
-		}
-		part := e.Parts[best]
-		bins := vecmath.TopKIndices(bestProbs, mPrime)
-		var out []int
-		for _, b := range bins {
-			for _, i := range part.Bins[b] {
-				out = append(out, int(i))
-			}
-		}
-		return out
-	case UnionProbe:
-		seen := make(map[int]struct{})
-		var out []int
+		// Algorithm 4: the single candidate set of the model whose top bin
+		// probability is highest. bestPart/qs.best start at a safe default:
+		// if every comparison fails (all-NaN probabilities from an
+		// overflowing query) the empty distribution selects no bins and the
+		// candidate set is empty, matching the pre-scratch behavior.
+		bestPart := e.Parts[0]
+		bestConf := float32(-1)
+		qs.best = qs.best[:0]
 		for _, p := range e.Parts {
-			for _, i := range p.Candidates(q, mPrime) {
-				if _, ok := seen[i]; !ok {
-					seen[i] = struct{}{}
-					out = append(out, i)
-				}
+			qs.probs = p.ProbabilitiesInto(qs.probs, q, &qs.Infer)
+			if c := qs.probs[vecmath.ArgMax(qs.probs)]; c > bestConf {
+				bestConf = c
+				bestPart = p
+				qs.best = append(qs.best[:0], qs.probs...)
 			}
 		}
-		return out
+		qs.bins = vecmath.TopKIndicesInto(qs.bins, qs.best, mPrime)
+		for _, b := range qs.bins {
+			dst = bestPart.AppendBin(dst, b)
+		}
+		return dst
+	case UnionProbe:
+		gen := qs.beginSeen(len(e.Parts[0].Assign))
+		for _, p := range e.Parts {
+			qs.probs = p.ProbabilitiesInto(qs.probs, q, &qs.Infer)
+			qs.bins = vecmath.TopKIndicesInto(qs.bins, qs.probs, mPrime)
+			for _, b := range qs.bins {
+				mark := len(dst)
+				dst = p.AppendBin(dst, b)
+				// Compact in place, keeping first occurrences only.
+				w := mark
+				for _, id := range dst[mark:] {
+					if qs.seen[id] != gen {
+						qs.seen[id] = gen
+						dst[w] = id
+						w++
+					}
+				}
+				dst = dst[:w]
+			}
+		}
+		return dst
 	default:
 		panic(fmt.Sprintf("core: unknown probe mode %d", mode))
 	}
+}
+
+// CandidatesWith returns the ensemble's candidate set for q as a fresh
+// []int while reusing the caller's scratch. Per-query offline callers (the
+// experiment sweeps, cmd/uspquery) should hold one QueryScratch across
+// queries: UnionProbe's dedup array is sized to the dataset, so a fresh
+// scratch per query would re-allocate and re-zero O(n) every call.
+func (e *Ensemble) CandidatesWith(qs *QueryScratch, q []float32, mPrime int, mode ProbeMode) []int {
+	qs.cands = e.AppendCandidates(qs.cands[:0], q, mPrime, mode, qs)
+	return ToInts(qs.cands)
+}
+
+// Candidates returns the ensemble's candidate set for q as a fresh []int —
+// a thin allocating wrapper over AppendCandidates kept for one-shot
+// callers; loops should prefer CandidatesWith.
+func (e *Ensemble) Candidates(q []float32, mPrime int, mode ProbeMode) []int {
+	var qs QueryScratch
+	return e.CandidatesWith(&qs, q, mPrime, mode)
 }
 
 // Size returns the number of models in the ensemble.

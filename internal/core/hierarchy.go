@@ -100,20 +100,18 @@ func trainNode(ds *dataset.Dataset, idx []int32, levels []int, cfg Config,
 		}
 		*stats = append(*stats, st)
 		node.part = p
-		localBins = p.Bins
+		localBins = p.BinLists()
 	} else {
 		// Degenerate subset: untrained router, round-robin assignment.
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(*nextLeaf)))
 		p := &Partitioner{Model: nn.NewLogistic(ds.Dim, m, rng), M: m}
 		p.Assign = make([]int32, sub.N)
-		p.Bins = make([][]int32, m)
 		for i := 0; i < sub.N; i++ {
-			b := int32(i % m)
-			p.Assign[i] = b
-			p.Bins[b] = append(p.Bins[b], int32(i))
+			p.Assign[i] = int32(i % m)
 		}
+		p.buildCSRFromAssign()
 		node.part = p
-		localBins = p.Bins
+		localBins = p.BinLists()
 	}
 
 	if len(levels) == 1 {
@@ -147,25 +145,41 @@ func trainNode(ds *dataset.Dataset, idx []int32, levels []int, cfg Config,
 // bin: the product of (temperature-softened) model outputs along each
 // root→leaf path.
 func (h *Hierarchy) LeafProbabilities(q []float32) []float32 {
-	out := make([]float32, h.NumBins)
-	var walk func(n *hnode, prob float32)
-	walk = func(n *hnode, prob float32) {
-		probs := n.part.Probabilities(q)
-		if h.ProbeTemp > 1 {
-			soften(probs, h.ProbeTemp)
-		}
-		if n.children == nil {
-			for b, pb := range probs {
-				out[n.leafBase+b] = prob * pb
-			}
-			return
-		}
-		for b, child := range n.children {
-			walk(child, prob*probs[b])
-		}
+	var qs QueryScratch
+	return h.LeafProbabilitiesInto(nil, q, &qs)
+}
+
+// LeafProbabilitiesInto is the allocation-free LeafProbabilities: the leaf
+// distribution is written into dst (grown as needed) and every node's
+// forward pass runs through the scratch's per-depth buffers. Results are
+// bit-identical to LeafProbabilities.
+func (h *Hierarchy) LeafProbabilitiesInto(dst []float32, q []float32, qs *QueryScratch) []float32 {
+	if cap(dst) < h.NumBins {
+		dst = make([]float32, h.NumBins)
 	}
-	walk(h.root, 1)
-	return out
+	dst = dst[:h.NumBins]
+	h.walkNode(dst, h.root, 0, 1, q, qs)
+	return dst
+}
+
+// walkNode multiplies node distributions down the tree into out. Each depth
+// owns one scratch buffer: a parent's distribution stays live while its
+// children recurse, but siblings at the same depth can share.
+func (h *Hierarchy) walkNode(out []float32, n *hnode, depth int, prob float32, q []float32, qs *QueryScratch) {
+	probs := n.part.Model.PredictVecInto(qs.nodeBuf(depth), q, &qs.Infer)
+	qs.nodeProbs[depth] = probs // retain the grown buffer
+	if h.ProbeTemp > 1 {
+		soften(probs, h.ProbeTemp)
+	}
+	if n.children == nil {
+		for b, pb := range probs {
+			out[n.leafBase+b] = prob * pb
+		}
+		return
+	}
+	for b, child := range n.children {
+		h.walkNode(out, child, depth+1, prob*probs[b], q, qs)
+	}
 }
 
 // QueryBins returns the mPrime globally most probable leaf bins.
@@ -173,17 +187,33 @@ func (h *Hierarchy) QueryBins(q []float32, mPrime int) []int {
 	return vecmath.TopKIndices(h.LeafProbabilities(q), mPrime)
 }
 
-// Candidates returns the union of the lookup lists of the mPrime most
-// probable leaf bins.
-func (h *Hierarchy) Candidates(q []float32, mPrime int) []int {
-	bins := h.QueryBins(q, mPrime)
-	var out []int
-	for _, b := range bins {
-		for _, i := range h.Bins[b] {
-			out = append(out, int(i))
-		}
+// AppendCandidates appends the union of the lookup lists of the mPrime most
+// probable leaf bins to dst. Leaf bins are disjoint, so no dedup is needed;
+// each bin contributes one contiguous copy. With a warmed scratch the call
+// allocates nothing beyond growth of dst.
+func (h *Hierarchy) AppendCandidates(dst []int32, q []float32, mPrime int, qs *QueryScratch) []int32 {
+	qs.leaf = h.LeafProbabilitiesInto(qs.leaf, q, qs)
+	qs.bins = vecmath.TopKIndicesInto(qs.bins, qs.leaf, mPrime)
+	for _, b := range qs.bins {
+		dst = append(dst, h.Bins[b]...)
 	}
-	return out
+	return dst
+}
+
+// CandidatesWith returns the candidate set for q as a fresh []int while
+// reusing the caller's scratch across queries (tree-walk and selection
+// buffers stay warm).
+func (h *Hierarchy) CandidatesWith(qs *QueryScratch, q []float32, mPrime int) []int {
+	qs.cands = h.AppendCandidates(qs.cands[:0], q, mPrime, qs)
+	return ToInts(qs.cands)
+}
+
+// Candidates returns the union of the lookup lists of the mPrime most
+// probable leaf bins — a thin allocating wrapper over AppendCandidates for
+// one-shot callers; loops should prefer CandidatesWith.
+func (h *Hierarchy) Candidates(q []float32, mPrime int) []int {
+	var qs QueryScratch
+	return h.CandidatesWith(&qs, q, mPrime)
 }
 
 // soften raises probabilities to the power 1/temp and renormalizes

@@ -14,13 +14,102 @@ import (
 // Partitioner is one trained USP model together with the lookup table of
 // Algorithm 1 step 3: for every bin, the indices of the dataset points
 // assigned to it.
+//
+// The lookup table is stored in CSR form — one flat id array plus per-bin
+// offsets — instead of a [][]int32 slice-of-slices: probing a bin appends one
+// contiguous range (a single memmove) rather than chasing a pointer per bin,
+// and the whole table lives in two allocations regardless of m. Points routed
+// in by Insert after the table is built land in small per-bin spill lists
+// that are scanned after the CSR range.
 type Partitioner struct {
 	Model *nn.Sequential
 	M     int
 	// Assign maps point index → bin.
 	Assign []int32
-	// Bins is the inverted lookup table: Bins[b] lists the points in bin b.
-	Bins [][]int32
+
+	// binIDs holds the point ids of every bin back to back; bin b occupies
+	// binIDs[binOff[b]:binOff[b+1]]. binOff has length M+1.
+	binIDs []int32
+	binOff []int32
+	// spill[b] lists ids Insert routed to bin b since the CSR table was
+	// built (nil until the first insert).
+	spill [][]int32
+}
+
+// setBinLists builds the CSR table from explicit per-bin id lists, clearing
+// any spill state. It is the bridge from the [][]int32 form used by
+// serialization snapshots and offline training code.
+func (p *Partitioner) setBinLists(lists [][]int32) {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	p.binIDs = make([]int32, 0, total)
+	p.binOff = make([]int32, len(lists)+1)
+	for b, l := range lists {
+		p.binIDs = append(p.binIDs, l...)
+		p.binOff[b+1] = int32(len(p.binIDs))
+	}
+	p.spill = nil
+}
+
+// buildCSRFromAssign fills the CSR table from Assign by counting sort,
+// preserving ascending id order within each bin.
+func (p *Partitioner) buildCSRFromAssign() {
+	p.binOff = make([]int32, p.M+1)
+	for _, b := range p.Assign {
+		p.binOff[b+1]++
+	}
+	for b := 0; b < p.M; b++ {
+		p.binOff[b+1] += p.binOff[b]
+	}
+	p.binIDs = make([]int32, len(p.Assign))
+	cursor := make([]int32, p.M)
+	copy(cursor, p.binOff[:p.M])
+	for i, b := range p.Assign {
+		p.binIDs[cursor[b]] = int32(i)
+		cursor[b]++
+	}
+	p.spill = nil
+}
+
+// BinLen returns the number of points in bin b (CSR range plus spill).
+func (p *Partitioner) BinLen(b int) int {
+	n := int(p.binOff[b+1] - p.binOff[b])
+	if p.spill != nil {
+		n += len(p.spill[b])
+	}
+	return n
+}
+
+// AppendBin appends the ids of bin b to dst: the contiguous CSR range first,
+// then any inserted spill ids. It allocates only when dst must grow.
+func (p *Partitioner) AppendBin(dst []int32, b int) []int32 {
+	dst = append(dst, p.binIDs[p.binOff[b]:p.binOff[b+1]]...)
+	if p.spill != nil {
+		dst = append(dst, p.spill[b]...)
+	}
+	return dst
+}
+
+// BinList returns the ids of bin b. When no inserts are pending this is a
+// zero-copy view of the CSR range; otherwise a fresh concatenation.
+func (p *Partitioner) BinList(b int) []int32 {
+	csr := p.binIDs[p.binOff[b]:p.binOff[b+1]:p.binOff[b+1]]
+	if p.spill == nil || len(p.spill[b]) == 0 {
+		return csr
+	}
+	return append(append(make([]int32, 0, len(csr)+len(p.spill[b])), csr...), p.spill[b]...)
+}
+
+// BinLists materializes the lookup table as per-bin id lists (the
+// serialization snapshot form). The returned lists are freshly allocated.
+func (p *Partitioner) BinLists() [][]int32 {
+	out := make([][]int32, p.M)
+	for b := 0; b < p.M; b++ {
+		out[b] = append(make([]int32, 0, p.BinLen(b)), p.BinList(b)...)
+	}
+	return out
 }
 
 // TrainStats reports offline-phase metrics (the quantities of Tables 2–3).
@@ -173,17 +262,15 @@ func Train(ds *dataset.Dataset, knnMat *knn.Matrix, cfg Config, weights []float3
 	return p, stats, nil
 }
 
-// buildLookup runs inference over the whole dataset and fills Assign and
-// Bins (Algorithm 1, step 3).
+// buildLookup runs inference over the whole dataset and fills Assign and the
+// CSR lookup table (Algorithm 1, step 3).
 func (p *Partitioner) buildLookup(ds *dataset.Dataset) {
 	probs := predictBatched(p.Model, ds, 4096)
 	p.Assign = make([]int32, ds.N)
-	p.Bins = make([][]int32, p.M)
 	for i := 0; i < ds.N; i++ {
-		b := int32(vecmath.ArgMax(probs.Row(i)))
-		p.Assign[i] = b
-		p.Bins[b] = append(p.Bins[b], int32(i))
+		p.Assign[i] = int32(vecmath.ArgMax(probs.Row(i)))
 	}
+	p.buildCSRFromAssign()
 }
 
 // predictBatched evaluates the model on every row of ds in chunks, returning
@@ -207,34 +294,52 @@ func (p *Partitioner) Probabilities(q []float32) []float32 {
 	return p.Model.PredictVec(q)
 }
 
+// ProbabilitiesInto is the allocation-free Probabilities: the distribution is
+// written into dst (grown as needed) through the scratch's inference buffers.
+// Results are bit-identical to Probabilities.
+func (p *Partitioner) ProbabilitiesInto(dst []float32, q []float32, sc *nn.InferScratch) []float32 {
+	return p.Model.PredictVecInto(dst, q, sc)
+}
+
 // QueryBins returns the mPrime most probable bins for q (Alg. 2, step 2).
 func (p *Partitioner) QueryBins(q []float32, mPrime int) []int {
 	return vecmath.TopKIndices(p.Probabilities(q), mPrime)
 }
 
+// AppendCandidates appends the candidate set C(q) — the ids in the mPrime
+// most probable bins — to dst, using qs for every intermediate. Steady-state
+// it allocates nothing beyond growth of dst.
+func (p *Partitioner) AppendCandidates(dst []int32, q []float32, mPrime int, qs *QueryScratch) []int32 {
+	qs.probs = p.ProbabilitiesInto(qs.probs, q, &qs.Infer)
+	qs.bins = vecmath.TopKIndicesInto(qs.bins, qs.probs, mPrime)
+	for _, b := range qs.bins {
+		dst = p.AppendBin(dst, b)
+	}
+	return dst
+}
+
+// CandidatesWith returns the candidate set C(q) as a fresh []int while
+// reusing the caller's scratch across queries.
+func (p *Partitioner) CandidatesWith(qs *QueryScratch, q []float32, mPrime int) []int {
+	qs.cands = p.AppendCandidates(qs.cands[:0], q, mPrime, qs)
+	return ToInts(qs.cands)
+}
+
 // Candidates returns the candidate set C(q): the union of the lookup-table
-// lists of the mPrime most probable bins.
+// lists of the mPrime most probable bins. It is a thin allocating wrapper
+// over AppendCandidates kept for one-shot offline callers; loops should
+// prefer CandidatesWith.
 func (p *Partitioner) Candidates(q []float32, mPrime int) []int {
-	bins := p.QueryBins(q, mPrime)
-	total := 0
-	for _, b := range bins {
-		total += len(p.Bins[b])
-	}
-	out := make([]int, 0, total)
-	for _, b := range bins {
-		for _, i := range p.Bins[b] {
-			out = append(out, int(i))
-		}
-	}
-	return out
+	var qs QueryScratch
+	return p.CandidatesWith(&qs, q, mPrime)
 }
 
 // BinSizes returns the number of points per bin (partition balance
 // diagnostics).
 func (p *Partitioner) BinSizes() []int {
 	out := make([]int, p.M)
-	for b, pts := range p.Bins {
-		out[b] = len(pts)
+	for b := range out {
+		out[b] = p.BinLen(b)
 	}
 	return out
 }

@@ -1,0 +1,67 @@
+package core
+
+import "repro/internal/nn"
+
+// QueryScratch owns every intermediate buffer the online phase needs for one
+// query: the model forward-pass buffers, a probability row, the best-model
+// probability row of Algorithm 4, the selected-bin list, the hierarchy's
+// per-depth node distributions and leaf distribution, and a generation-
+// stamped visited set for union probing. One scratch serves one goroutine;
+// after warm-up a query performs no allocation through any of the
+// AppendCandidates entry points.
+//
+// The zero value is ready to use. Buffers grow on demand and are retained.
+type QueryScratch struct {
+	// Infer backs single-row model inference (nn.PredictVecInto).
+	Infer nn.InferScratch
+
+	probs []float32 // current model's bin distribution
+	best  []float32 // best-confidence model's distribution (Algorithm 4)
+	bins  []int     // selected top-m′ bin indices
+	cands []int32   // candidate staging for the []int-returning wrappers
+
+	leaf      []float32   // hierarchy leaf-bin distribution
+	nodeProbs [][]float32 // per-depth node distributions for the tree walk
+
+	// seen/gen implement an O(1)-reset visited set for UnionProbe dedup:
+	// seen[i] == gen marks id i as already emitted for the current query.
+	seen []uint32
+	gen  uint32
+}
+
+// ToInts materializes an []int32 id list as a fresh []int — the conversion
+// every []int-returning candidate wrapper performs at the boundary between
+// the int32 engine and the seed-era []int APIs.
+func ToInts(ids []int32) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// beginSeen prepares the visited set for a dataset of n points and returns
+// the generation stamp to mark ids with.
+func (qs *QueryScratch) beginSeen(n int) uint32 {
+	if len(qs.seen) < n {
+		qs.seen = make([]uint32, n)
+		qs.gen = 0
+	}
+	qs.gen++
+	if qs.gen == 0 { // wrapped: stamps from 2^32 queries ago could collide
+		for i := range qs.seen {
+			qs.seen[i] = 0
+		}
+		qs.gen = 1
+	}
+	return qs.gen
+}
+
+// nodeBuf returns the probability buffer for tree depth d, creating the
+// depth slot on first use.
+func (qs *QueryScratch) nodeBuf(d int) []float32 {
+	for len(qs.nodeProbs) <= d {
+		qs.nodeProbs = append(qs.nodeProbs, nil)
+	}
+	return qs.nodeProbs[d]
+}

@@ -34,7 +34,7 @@ func SaveEnsemble(w io.Writer, e *Ensemble) error {
 			return fmt.Errorf("core: serializing model: %w", err)
 		}
 		spec.Parts = append(spec.Parts, partSpec{
-			Model: buf.Bytes(), M: p.M, Assign: p.Assign, Bins: p.Bins,
+			Model: buf.Bytes(), M: p.M, Assign: p.Assign, Bins: p.BinLists(),
 		})
 	}
 	return gob.NewEncoder(w).Encode(spec)
@@ -133,7 +133,7 @@ func SaveHierarchy(w io.Writer, h *Hierarchy) error {
 		}
 		ns := hnodeSpec{
 			Model: buf.Bytes(), M: n.part.M,
-			Assign: n.part.Assign, Bins: n.part.Bins, LeafBase: n.leafBase,
+			Assign: n.part.Assign, Bins: n.part.BinLists(), LeafBase: n.leafBase,
 		}
 		for _, c := range n.children {
 			cs, err := snap(c)
@@ -167,10 +167,9 @@ func LoadHierarchy(r io.Reader) (*Hierarchy, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: decoding hierarchy model: %w", err)
 		}
-		n := &hnode{
-			part:     &Partitioner{Model: model, M: ns.M, Assign: ns.Assign, Bins: ns.Bins},
-			leafBase: ns.LeafBase,
-		}
+		part := &Partitioner{Model: model, M: ns.M, Assign: ns.Assign}
+		part.setBinLists(ns.Bins)
+		n := &hnode{part: part, leafBase: ns.LeafBase}
 		for _, cs := range ns.Children {
 			c, err := restore(cs, depth+1)
 			if err != nil {
@@ -205,9 +204,9 @@ func LoadEnsemble(r io.Reader) (*Ensemble, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: decoding model %d: %w", i, err)
 		}
-		e.Parts = append(e.Parts, &Partitioner{
-			Model: model, M: ps.M, Assign: ps.Assign, Bins: ps.Bins,
-		})
+		p := &Partitioner{Model: model, M: ps.M, Assign: ps.Assign}
+		p.setBinLists(ps.Bins)
+		e.Parts = append(e.Parts, p)
 	}
 	return e, nil
 }

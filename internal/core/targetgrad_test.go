@@ -19,8 +19,8 @@ func TestTargetGradModeTrains(t *testing.T) {
 	}
 	// Partition invariants hold in this mode too.
 	seen := make([]int, ds.N)
-	for b, pts := range p.Bins {
-		for _, i := range pts {
+	for b := 0; b < p.M; b++ {
+		for _, i := range p.BinList(b) {
 			seen[i]++
 			if p.Assign[i] != int32(b) {
 				t.Fatal("assign/bin mismatch")

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/vecmath"
 )
 
 // Dataset is a collection of n vectors of equal dimension stored row-major
@@ -16,6 +18,11 @@ import (
 type Dataset struct {
 	N, Dim int
 	Data   []float32 // len == N*Dim
+	// SqNorms caches ‖row‖² per row once EnsureSqNorms has been called; it
+	// feeds the fused distance kernel (vecmath.SquaredL2Fused) on the query
+	// hot path. Append keeps it extended; mutating rows in place after the
+	// cache is built invalidates it — call EnsureSqNorms(true) to rebuild.
+	SqNorms []float32
 }
 
 // New allocates a zeroed dataset of n vectors with dim dimensions.
@@ -56,13 +63,39 @@ func (d *Dataset) Clone() *Dataset {
 	return out
 }
 
-// Append adds a copy of vec (which must have length Dim) to the dataset.
+// Append adds a copy of vec (which must have length Dim) to the dataset,
+// extending the squared-norm cache when one has been built.
 func (d *Dataset) Append(vec []float32) {
 	if len(vec) != d.Dim {
 		panic("dataset: Append dimension mismatch")
 	}
 	d.Data = append(d.Data, vec...)
 	d.N++
+	if d.SqNorms != nil {
+		d.SqNorms = append(d.SqNorms, sqNorm(vec))
+	}
+}
+
+// EnsureSqNorms builds the per-row squared-norm cache if absent (or
+// unconditionally when rebuild is true, after in-place row mutation).
+func (d *Dataset) EnsureSqNorms(rebuild bool) {
+	if d.SqNorms != nil && !rebuild && len(d.SqNorms) == d.N {
+		return
+	}
+	if cap(d.SqNorms) < d.N {
+		d.SqNorms = make([]float32, d.N)
+	}
+	d.SqNorms = d.SqNorms[:d.N]
+	for i := 0; i < d.N; i++ {
+		d.SqNorms[i] = sqNorm(d.Row(i))
+	}
+}
+
+// sqNorm computes ‖v‖² via vecmath.Dot(v, v) — the same kernel the fused
+// distance uses for the query side — so cached norms are bit-identical to
+// the query-side norm for equal vectors and self-distance is exactly zero.
+func sqNorm(v []float32) float32 {
+	return vecmath.Dot(v, v)
 }
 
 // FromRowsCopy copies a slice of equal-length vectors into a new Dataset.
@@ -267,6 +300,9 @@ func Classification4(n int, rng *rand.Rand) *Labeled {
 // over normalized vectors, which is how the library supports the paper's
 // "any distance function D" with the single L2 kernel set.
 func NormalizeRows(d *Dataset) int {
+	// Rows are about to change: drop any squared-norm cache rather than
+	// leave stale values feeding the fused distance kernel.
+	d.SqNorms = nil
 	count := 0
 	for i := 0; i < d.N; i++ {
 		row := d.Row(i)

@@ -19,10 +19,11 @@ func ablationRow(b *bench, cfg core.Config, ensemble int, label string) (eval.Se
 	if err != nil {
 		return eval.Series{}, err
 	}
+	var qs core.QueryScratch // sweeps are sequential: one scratch serves every query
 	return eval.SweepCandidates(b.base, b.queries, b.gt, 10, eval.Method{
 		Name: label,
 		Candidates: func(q []float32, p int) []int {
-			return ens.Candidates(q, p, core.BestConfidence)
+			return ens.CandidatesWith(&qs, q, p, core.BestConfidence)
 		},
 	}, []int{1, 2, 4}), nil
 }
@@ -92,10 +93,11 @@ func ablationEnsemble(sc Scale, logf logfn) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var qs core.QueryScratch // reuse the O(n) union-dedup array across the sweep
 	series = append(series, eval.SweepCandidates(b.base, b.queries, b.gt, 10, eval.Method{
 		Name: "e=3 (union probe)",
 		Candidates: func(q []float32, p int) []int {
-			return ens.Candidates(q, p, core.UnionProbe)
+			return ens.CandidatesWith(&qs, q, p, core.UnionProbe)
 		},
 	}, []int{1, 2, 4}))
 	return renderAblation("ablation_ensemble", "Ablation: ensemble size (SIFT-like, 16 bins)", series), nil
@@ -182,10 +184,11 @@ func ablationArch(sc Scale, logf logfn) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		var qs core.QueryScratch
 		s := eval.SweepCandidates(b.base, b.queries, b.gt, 10, eval.Method{
 			Name: a.label,
 			Candidates: func(q []float32, p int) []int {
-				return ens.Candidates(q, p, core.BestConfidence)
+				return ens.CandidatesWith(&qs, q, p, core.BestConfidence)
 			},
 		}, []int{1, 2, 4})
 		series = append(series, s)

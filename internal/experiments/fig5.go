@@ -44,10 +44,11 @@ func fig5(sc Scale, logf logfn, ds string, bins int) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		var qs core.QueryScratch
 		series = append(series, eval.SweepCandidates(b.base, b.queries, b.gt, k, eval.Method{
 			Name: fmt.Sprintf("USP (ours, e=%d)", sc.Ensemble),
 			Candidates: func(q []float32, p int) []int {
-				return ens.Candidates(q, p, core.BestConfidence)
+				return ens.CandidatesWith(&qs, q, p, core.BestConfidence)
 			},
 		}, probes))
 	}

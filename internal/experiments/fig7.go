@@ -49,10 +49,11 @@ func fig7(sc Scale, logf logfn, ds string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var qs core.QueryScratch
 	series = append(series, eval.SweepSearch(b.queries, b.gt, k, eval.SearchMethod{
 		Name: "USP + ScaNN (ours)",
 		Search: func(q []float32, k, p int) ([]int, int) {
-			cands := ens.Candidates(q, p, core.BestConfidence)
+			cands := ens.CandidatesWith(&qs, q, p, core.BestConfidence)
 			return eval.NeighborIDs(scann.Search(q, k, cands)), len(cands)
 		},
 	}, probes))

@@ -1,0 +1,93 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vecmath"
+)
+
+func TestSearchSubsetIntoMatchesSearchSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	base := dataset.GaussianMixture(dataset.GaussianMixtureConfig{
+		N: 400, Dim: 16, Clusters: 8, ClusterStd: 0.5, CenterBox: 3,
+	}, rng).Dataset
+
+	for _, withNorms := range []bool{false, true} {
+		if withNorms {
+			base.EnsureSqNorms(true)
+		} else {
+			base.SqNorms = nil
+		}
+		tk := vecmath.NewTopK(1)
+		var dst []vecmath.Neighbor
+		for trial := 0; trial < 50; trial++ {
+			q := base.Row(rng.Intn(base.N))
+			nsub := 1 + rng.Intn(base.N)
+			subset := make([]int, 0, nsub)
+			subset32 := make([]int32, 0, nsub)
+			for _, i := range rng.Perm(base.N)[:nsub] {
+				subset = append(subset, i)
+				subset32 = append(subset32, int32(i))
+			}
+			k := 1 + rng.Intn(12)
+			want := SearchSubset(base, subset, q, k)
+			dst = SearchSubsetInto(dst[:0], base, subset32, q, k, tk)
+			if len(want) != len(dst) {
+				t.Fatalf("norms=%v trial %d: %d vs %d results", withNorms, trial, len(dst), len(want))
+			}
+			for i := range want {
+				if want[i].Index != dst[i].Index {
+					t.Fatalf("norms=%v trial %d: result[%d] id %d, want %d",
+						withNorms, trial, i, dst[i].Index, want[i].Index)
+				}
+				diff := float64(want[i].Dist - dst[i].Dist)
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > 1e-3*float64(want[i].Dist)+1e-4 {
+					t.Fatalf("norms=%v trial %d: result[%d] dist %v, want %v",
+						withNorms, trial, i, dst[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchSubsetIntoSelfQueryIsExactZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	base := dataset.Uniform(100, 32, rng)
+	base.EnsureSqNorms(false)
+	tk := vecmath.NewTopK(1)
+	subset := make([]int32, base.N)
+	for i := range subset {
+		subset[i] = int32(i)
+	}
+	for qi := 0; qi < base.N; qi += 7 {
+		ns := SearchSubsetInto(nil, base, subset, base.Row(qi), 1, tk)
+		if ns[0].Index != qi || ns[0].Dist != 0 {
+			t.Fatalf("self query %d returned %+v (fused self-distance must be exactly 0)", qi, ns[0])
+		}
+	}
+}
+
+func TestSearchSubsetIntoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	base := dataset.Uniform(500, 32, rng)
+	base.EnsureSqNorms(false)
+	subset := make([]int32, base.N)
+	for i := range subset {
+		subset[i] = int32(i)
+	}
+	q := base.Row(0)
+	tk := vecmath.NewTopK(10)
+	dst := make([]vecmath.Neighbor, 0, 10)
+	dst = SearchSubsetInto(dst[:0], base, subset, q, 10, tk) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = SearchSubsetInto(dst[:0], base, subset, q, 10, tk)
+	})
+	if allocs != 0 {
+		t.Fatalf("SearchSubsetInto allocates %v per run", allocs)
+	}
+}

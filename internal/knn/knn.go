@@ -35,6 +35,28 @@ func SearchSubset(base *dataset.Dataset, subset []int, query []float32, k int) [
 	return tk.Sorted()
 }
 
+// SearchSubsetInto is the zero-allocation candidate scan of the batched
+// query engine: it scans the rows listed in subset, retains the k nearest in
+// the caller's TopK selector, and appends them (ascending distance) to dst.
+// When base carries a squared-norm cache (dataset.EnsureSqNorms), each row
+// costs one fused dot product (‖x‖² − 2q·x + ‖q‖²) instead of a
+// subtract-square pass; otherwise it falls back to the direct kernel.
+// Steady-state the call allocates nothing beyond growth of dst.
+func SearchSubsetInto(dst []vecmath.Neighbor, base *dataset.Dataset, subset []int32, query []float32, k int, tk *vecmath.TopK) []vecmath.Neighbor {
+	tk.SetK(k)
+	if base.SqNorms != nil {
+		qNorm := vecmath.Dot(query, query)
+		for _, i := range subset {
+			tk.Push(int(i), vecmath.SquaredL2Fused(query, base.Row(int(i)), qNorm, base.SqNorms[i]))
+		}
+	} else {
+		for _, i := range subset {
+			tk.Push(int(i), vecmath.SquaredL2(query, base.Row(int(i))))
+		}
+	}
+	return tk.AppendSorted(dst)
+}
+
 // Matrix is the k′-NN matrix of §4.2.1: row i lists the indices of the k′
 // nearest neighbors of point i within the dataset (excluding i itself),
 // ordered by ascending distance.

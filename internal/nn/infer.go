@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Single-row, allocation-free inference. The online query path evaluates the
+// model on one vector at a time; the generic Forward pipeline allocates a
+// fresh tensor per layer per call, which dominates query cost for the small
+// models the paper uses. PredictVecInto runs the same arithmetic through a
+// caller-owned scratch, producing bit-identical probabilities (each layer's
+// eval path mirrors the accumulation order of its batch Forward).
+
+// InferScratch holds the reusable buffers for PredictVecInto. The zero value
+// is ready to use; buffers grow on demand and are retained between calls, so
+// steady-state inference performs no allocation.
+type InferScratch struct {
+	cur, nxt []float32
+}
+
+func growF32(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// PredictVecInto computes the model's bin probability distribution for a
+// single vector into dst (grown as needed) and returns it. It is the
+// allocation-free equivalent of PredictVec: eval mode, running batch-norm
+// statistics, dropout disabled. Results are bit-identical to PredictVec.
+//
+// The fast path covers the layer types the paper's architectures use
+// (Dense, BatchNorm, ReLU, Dropout); a model containing any other layer
+// falls back to the allocating pipeline.
+func (s *Sequential) PredictVecInto(dst []float32, v []float32, sc *InferScratch) []float32 {
+	sc.cur = growF32(sc.cur, len(v))
+	copy(sc.cur, v)
+	for _, l := range s.Layers {
+		switch ly := l.(type) {
+		case *Dense:
+			sc.nxt = growF32(sc.nxt, ly.W.Value.Cols)
+			ly.inferRow(sc.nxt, sc.cur)
+			sc.cur, sc.nxt = sc.nxt, sc.cur
+		case *BatchNorm:
+			ly.inferRow(sc.cur)
+		case *ReLU:
+			for i, x := range sc.cur {
+				if x <= 0 {
+					sc.cur[i] = 0
+				}
+			}
+		case *Dropout:
+			// Identity at inference.
+		default:
+			// Unknown layer: fall back to the generic (allocating) path for
+			// the whole model to keep semantics exact.
+			out := s.Predict(tensor.FromSlice(1, len(v), v)).Row(0)
+			dst = append(dst[:0], out...)
+			return dst
+		}
+	}
+	softmaxRow(sc.cur)
+	dst = append(dst[:0], sc.cur...)
+	return dst
+}
+
+// inferRow computes dst = x·W + b for a single row, mirroring
+// tensor.MatMul's k-major accumulation (including its skip of zero inputs)
+// followed by the bias add, so the result matches the batch path bitwise.
+func (d *Dense) inferRow(dst, x []float32) {
+	w := d.W.Value
+	for j := range dst {
+		dst[j] = 0
+	}
+	for k, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		wrow := w.Row(k)
+		for j, wv := range wrow {
+			dst[j] += xv * wv
+		}
+	}
+	for j, bv := range d.B.Value.Data {
+		dst[j] += bv
+	}
+}
+
+// inferRow standardizes a single row in place with the running statistics,
+// matching BatchNorm.Forward's inference branch arithmetic exactly.
+func (bn *BatchNorm) inferRow(x []float32) {
+	dim := bn.Gamma.Value.Cols
+	for j := 0; j < dim; j++ {
+		mean := float64(bn.RunningMean.Data[j])
+		invStd := 1 / math.Sqrt(float64(bn.RunningVar.Data[j])+bn.Eps)
+		g, b := float64(bn.Gamma.Value.Data[j]), float64(bn.Beta.Value.Data[j])
+		v := (float64(x[j]) - mean) * invStd
+		x[j] = float32(v*g + b)
+	}
+}
+
+// softmaxRow is SoftmaxRows for a single row without the parallel dispatch,
+// with identical arithmetic (max-subtraction, float64 sum).
+func softmaxRow(row []float32) {
+	maxv := row[0]
+	for _, v := range row[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for j, v := range row {
+		e := math.Exp(float64(v - maxv))
+		row[j] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for j := range row {
+		row[j] *= inv
+	}
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// trainedMLP returns a small MLP whose batch-norm running statistics have
+// been moved off their initial values by a few training steps, so the
+// inference fast path is exercised against non-trivial state.
+func trainedMLP(t *testing.T, inDim, outDim int) *Sequential {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	model := NewMLP(inDim, []int{9}, outDim, 0.1, rng)
+	opt := NewAdam(1e-3)
+	x := tensor.New(32, inDim)
+	targets := tensor.New(32, outDim)
+	for step := 0; step < 5; step++ {
+		for i := range x.Data {
+			x.Data[i] = float32(rng.NormFloat64())
+		}
+		for i := 0; i < targets.Rows; i++ {
+			row := targets.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+			row[rng.Intn(outDim)] = 1
+		}
+		model.ZeroGrads()
+		logits := model.Forward(x, true)
+		res := USPLoss(logits, targets, nil, 1)
+		model.Backward(res.Grad)
+		opt.Step(model.Params())
+	}
+	return model
+}
+
+func TestPredictVecIntoMatchesPredictVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, build := range []func() *Sequential{
+		func() *Sequential { return trainedMLP(t, 11, 5) },
+		func() *Sequential { return NewLogistic(11, 5, rand.New(rand.NewSource(5))) },
+	} {
+		model := build()
+		var sc InferScratch
+		var dst []float32
+		for trial := 0; trial < 50; trial++ {
+			v := make([]float32, 11)
+			for i := range v {
+				v[i] = float32(rng.NormFloat64())
+			}
+			if trial%7 == 0 {
+				v[trial%11] = 0 // exercise MatMul's zero-input skip
+			}
+			want := model.PredictVec(v)
+			dst = model.PredictVecInto(dst, v, &sc)
+			if len(want) != len(dst) {
+				t.Fatalf("width %d vs %d", len(dst), len(want))
+			}
+			for j := range want {
+				if want[j] != dst[j] {
+					t.Fatalf("trial %d: prob[%d] = %v, want %v (must be bit-identical)",
+						trial, j, dst[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestPredictVecIntoAllocs(t *testing.T) {
+	model := trainedMLP(t, 16, 8)
+	var sc InferScratch
+	v := make([]float32, 16)
+	for i := range v {
+		v[i] = float32(i) * 0.1
+	}
+	dst := make([]float32, 0, 8)
+	dst = model.PredictVecInto(dst, v, &sc) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = model.PredictVecInto(dst[:0], v, &sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictVecInto allocates %v per run", allocs)
+	}
+}

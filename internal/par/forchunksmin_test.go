@@ -1,0 +1,38 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForChunksMinCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		var sum atomic.Int64
+		ForChunksMin(n, 1, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			sum.Add(local)
+		})
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if sum.Load() != want {
+			t.Fatalf("n=%d: sum %d, want %d", n, sum.Load(), want)
+		}
+	}
+}
+
+func TestForChunksMinSmallBatchFansOut(t *testing.T) {
+	if Workers() <= 1 {
+		t.Skip("single-core environment: fan-out degenerates to sequential")
+	}
+	// With minSpan 1, an 8-item range must split across more than one chunk.
+	var chunks atomic.Int32
+	ForChunksMin(8, 1, func(lo, hi int) { chunks.Add(1) })
+	if chunks.Load() < 2 {
+		t.Fatalf("8 items produced %d chunk(s), want ≥ 2", chunks.Load())
+	}
+}

@@ -32,11 +32,21 @@ func For(n int, fn func(i int)) {
 // potentially in parallel. fn must be safe to call concurrently for disjoint
 // ranges.
 func ForChunks(n int, fn func(lo, hi int)) {
+	ForChunksMin(n, minParallelSpan, fn)
+}
+
+// ForChunksMin is ForChunks with an explicit sequential-fallback threshold:
+// ranges shorter than minSpan run on the calling goroutine. Batch query
+// serving uses minSpan = 1 — a request of even a handful of queries is worth
+// fanning out when each query costs a model forward pass plus a candidate
+// scan, which is orders of magnitude above the scheduling overhead the
+// default threshold guards against.
+func ForChunksMin(n, minSpan int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	w := Workers()
-	if w <= 1 || n < minParallelSpan {
+	if w <= 1 || n < minSpan || n < 2 {
 		fn(0, n)
 		return
 	}

@@ -1,6 +1,9 @@
 package vecmath
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Neighbor pairs an item index with a distance (or score). It is the unit of
 // currency for all top-k selection in the library.
@@ -95,16 +98,51 @@ func (t *TopK) Sorted() []Neighbor {
 	return out
 }
 
+// AppendSorted appends the retained neighbors to dst ordered by ascending
+// distance (ties broken by ascending index) and resets the selector, keeping
+// its buffer. Unlike Sorted it performs no allocation beyond growing dst, so
+// a selector + destination pair can be reused across queries allocation-free.
+func (t *TopK) AppendSorted(dst []Neighbor) []Neighbor {
+	slices.SortFunc(t.heap, compareNeighbors)
+	dst = append(dst, t.heap...)
+	t.heap = t.heap[:0]
+	return dst
+}
+
 // Reset discards all retained neighbors, keeping capacity.
 func (t *TopK) Reset() { t.heap = t.heap[:0] }
 
+// SetK changes the retention count for subsequent pushes, discarding any
+// currently retained neighbors but keeping the buffer when it is large
+// enough. k must be positive.
+func (t *TopK) SetK(k int) {
+	if k <= 0 {
+		panic("vecmath: TopK.SetK requires k > 0")
+	}
+	t.k = k
+	if cap(t.heap) < k {
+		t.heap = make([]Neighbor, 0, k)
+	} else {
+		t.heap = t.heap[:0]
+	}
+}
+
+func compareNeighbors(a, b Neighbor) int {
+	switch {
+	case a.Dist < b.Dist:
+		return -1
+	case a.Dist > b.Dist:
+		return 1
+	case a.Index < b.Index:
+		return -1
+	case a.Index > b.Index:
+		return 1
+	}
+	return 0
+}
+
 func sortNeighbors(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
-			return ns[i].Dist < ns[j].Dist
-		}
-		return ns[i].Index < ns[j].Index
-	})
+	slices.SortFunc(ns, compareNeighbors)
 }
 
 // TopKIndices returns the indices of the k largest values of x in descending
@@ -131,6 +169,45 @@ func TopKIndices(x []float32, k int) []int {
 		return idx[a] < idx[b]
 	})
 	return idx[:k]
+}
+
+// TopKIndicesInto is TopKIndices writing into dst (reusing its capacity):
+// the indices of the k largest values of x in descending value order, ties
+// broken by ascending index. It allocates nothing once dst has capacity k,
+// making it suitable for the per-query bin selection of the online phase.
+// The two functions return identical orderings for identical inputs.
+func TopKIndicesInto(dst []int, x []float32, k int) []int {
+	n := len(x)
+	if k > n {
+		k = n
+	}
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	// Partial insertion selection: dst is kept sorted by (value desc, index
+	// asc). Scanning indices in ascending order with strict comparisons
+	// reproduces TopKIndices' tie-breaking exactly. m′ and m are small, so
+	// the O(n·k) shifts are cheaper than maintaining a heap.
+	for i, v := range x {
+		if len(dst) < k {
+			j := len(dst)
+			for j > 0 && x[dst[j-1]] < v {
+				j--
+			}
+			dst = append(dst, 0)
+			copy(dst[j+1:], dst[j:])
+			dst[j] = i
+		} else if x[dst[k-1]] < v {
+			j := k - 1
+			for j > 0 && x[dst[j-1]] < v {
+				j--
+			}
+			copy(dst[j+1:k], dst[j:k-1])
+			dst[j] = i
+		}
+	}
+	return dst
 }
 
 // SelectKthLargest returns the k-th largest value of x (1-based: k=1 is the

@@ -52,6 +52,22 @@ func SquaredL2(a, b []float32) float32 {
 	return s0 + s1 + s2 + s3
 }
 
+// SquaredL2Fused returns the squared Euclidean distance between q and x via
+// the expansion ‖x‖² + ‖q‖² − 2·q·x, given the precomputed squared norms of
+// both vectors. With per-row norms cached on the dataset (and ‖q‖² computed
+// once per query) a candidate scan costs one dot product per row instead of a
+// subtract-square pass, and the dot product reads both operands forward —
+// the layout ScaNN-style scoring kernels use. The result is clamped at zero:
+// the expansion can go slightly negative under float32 cancellation when q
+// and x nearly coincide.
+func SquaredL2Fused(q, x []float32, qNorm2, xNorm2 float32) float32 {
+	d := xNorm2 + qNorm2 - 2*Dot(q, x)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
 // L2 returns the Euclidean distance between a and b.
 func L2(a, b []float32) float32 {
 	return float32(math.Sqrt(float64(SquaredL2(a, b))))

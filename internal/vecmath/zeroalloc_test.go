@@ -1,0 +1,159 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSquaredL2FusedMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(130)
+		q := make([]float32, dim)
+		x := make([]float32, dim)
+		for i := range q {
+			q[i] = float32(rng.NormFloat64() * 3)
+			x[i] = float32(rng.NormFloat64() * 3)
+		}
+		direct := SquaredL2(q, x)
+		fused := SquaredL2Fused(q, x, Dot(q, q), Dot(x, x))
+		diff := float64(direct - fused)
+		if diff < 0 {
+			diff = -diff
+		}
+		// The expansion loses precision under cancellation; allow a small
+		// relative error against the magnitude of the norms involved.
+		scale := float64(Dot(q, q) + Dot(x, x))
+		if diff > 1e-4*scale+1e-4 {
+			t.Fatalf("trial %d: direct %v fused %v (dim %d)", trial, direct, fused, dim)
+		}
+	}
+}
+
+func TestSquaredL2FusedIdenticalVectorsIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	q := make([]float32, 64)
+	for i := range q {
+		q[i] = float32(rng.NormFloat64())
+	}
+	n := Dot(q, q)
+	if d := SquaredL2Fused(q, q, n, n); d != 0 {
+		t.Fatalf("self distance = %v, want exactly 0", d)
+	}
+}
+
+func TestSquaredL2FusedClampsNegative(t *testing.T) {
+	// Force cancellation: nearly identical large-magnitude vectors.
+	q := []float32{1e6, 1e6, 1e6, 1e6}
+	x := []float32{1e6, 1e6, 1e6, 1.0000001e6}
+	if d := SquaredL2Fused(q, x, Dot(q, q), Dot(x, x)); d < 0 {
+		t.Fatalf("fused distance went negative: %v", d)
+	}
+}
+
+func TestTopKIndicesIntoMatchesTopKIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var scratch []int
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.Intn(12)) // duplicates on purpose: exercise ties
+		}
+		k := rng.Intn(n + 3) // occasionally k > n and k == 0
+		want := TopKIndices(x, k)
+		scratch = TopKIndicesInto(scratch, x, k)
+		if len(want) != len(scratch) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(scratch), len(want))
+		}
+		for i := range want {
+			if want[i] != scratch[i] {
+				t.Fatalf("trial %d (n=%d k=%d): got %v want %v (x=%v)",
+					trial, n, k, scratch, want, x)
+			}
+		}
+	}
+}
+
+func TestTopKIndicesIntoAllocs(t *testing.T) {
+	x := make([]float32, 256)
+	rng := rand.New(rand.NewSource(10))
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	scratch := make([]int, 0, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		scratch = TopKIndicesInto(scratch, x, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("TopKIndicesInto allocates %v per run", allocs)
+	}
+}
+
+func TestAppendSortedMatchesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(50)
+		k := 1 + rng.Intn(12)
+		a, b := NewTopK(k), NewTopK(k)
+		for i := 0; i < n; i++ {
+			d := float32(rng.Intn(8)) // ties on purpose
+			a.Push(i, d)
+			b.Push(i, d)
+		}
+		want := a.Sorted()
+		got := b.AppendSorted(nil)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+		if b.Len() != 0 {
+			t.Fatal("AppendSorted must reset the selector")
+		}
+	}
+}
+
+func TestAppendSortedReusesBuffer(t *testing.T) {
+	tk := NewTopK(16)
+	dst := make([]Neighbor, 0, 16)
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float32, 512)
+	for i := range xs {
+		xs[i] = rng.Float32()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tk.Reset()
+		for i, v := range xs {
+			tk.Push(i, v)
+		}
+		dst = tk.AppendSorted(dst[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("push+AppendSorted allocates %v per run", allocs)
+	}
+}
+
+func TestTopKSetK(t *testing.T) {
+	tk := NewTopK(3)
+	for i := 0; i < 10; i++ {
+		tk.Push(i, float32(10-i))
+	}
+	tk.SetK(5)
+	if tk.Len() != 0 {
+		t.Fatal("SetK must discard retained neighbors")
+	}
+	for i := 0; i < 10; i++ {
+		tk.Push(i, float32(10-i))
+	}
+	ns := tk.Sorted()
+	if len(ns) != 5 {
+		t.Fatalf("retained %d, want 5", len(ns))
+	}
+	if ns[0].Index != 9 {
+		t.Fatalf("nearest = %+v", ns[0])
+	}
+}

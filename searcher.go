@@ -1,0 +1,133 @@
+package usp
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/knn"
+	"repro/internal/par"
+	"repro/internal/vecmath"
+)
+
+// Searcher is a reusable query context over an Index: it owns every scratch
+// buffer the online phase needs (model forward-pass buffers, candidate list,
+// top-k selector, result staging), so repeated queries allocate nothing
+// steady-state beyond the returned result slice. A Searcher is NOT safe for
+// concurrent use — give each goroutine its own (NewSearcher is cheap, and the
+// Index keeps an internal pool for the convenience entry points). Concurrent
+// Searchers over one Index are safe, including concurrently with Add.
+type Searcher struct {
+	ix    *Index
+	qs    core.QueryScratch
+	cands []int32
+	tk    *vecmath.TopK
+	nbrs  []vecmath.Neighbor
+	// routeBins stages Add's per-member routing decisions (Index.Add
+	// borrows a pooled Searcher for its pre-lock forward passes).
+	routeBins []int
+}
+
+// NewSearcher returns a fresh query context for the index. Buffers grow on
+// first use and are retained across queries.
+func (ix *Index) NewSearcher() *Searcher {
+	return &Searcher{ix: ix, tk: vecmath.NewTopK(1)}
+}
+
+// gatherCandidates fills s.cands for q. Callers must hold ix.mu (read side).
+func (s *Searcher) gatherCandidates(q []float32, probes int, union bool) {
+	s.cands = s.cands[:0]
+	if s.ix.hier != nil {
+		s.cands = s.ix.hier.AppendCandidates(s.cands, q, probes, &s.qs)
+		return
+	}
+	mode := core.BestConfidence
+	if union {
+		mode = core.UnionProbe
+	}
+	s.cands = s.ix.ens.AppendCandidates(s.cands, q, probes, mode, &s.qs)
+}
+
+// Search returns the k approximate nearest neighbors of q. Steady-state it
+// performs a single allocation: the returned result slice. Use SearchInto
+// with a recycled slice to eliminate that too.
+func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]Result, error) {
+	return s.SearchInto(make([]Result, 0, k), q, k, opt)
+}
+
+// SearchInto appends the k approximate nearest neighbors of q to dst and
+// returns it. With a recycled dst it allocates nothing steady-state.
+func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOptions) ([]Result, error) {
+	if k <= 0 {
+		return nil, errors.New("usp: k must be positive")
+	}
+	ix := s.ix
+	if len(q) != ix.data.Dim {
+		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.data.Dim)
+	}
+	probes := opt.Probes
+	if probes <= 0 {
+		probes = 1
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s.gatherCandidates(q, probes, opt.UnionEnsemble)
+	s.nbrs = knn.SearchSubsetInto(s.nbrs[:0], ix.data, s.cands, q, k, s.tk)
+	for _, n := range s.nbrs {
+		dst = append(dst, Result{ID: n.Index, Distance: n.Dist})
+	}
+	return dst, nil
+}
+
+// Scanned reports the size of the candidate set |C(q)| of the most recent
+// query — the computational-cost metric of the paper's figures — without
+// re-deriving it.
+func (s *Searcher) Scanned() int { return len(s.cands) }
+
+// getSearcher takes a pooled Searcher (the pool's zero value works: misses
+// construct a fresh one).
+func (ix *Index) getSearcher() *Searcher {
+	if v := ix.searchers.Get(); v != nil {
+		return v.(*Searcher)
+	}
+	return ix.NewSearcher()
+}
+
+func (ix *Index) putSearcher(s *Searcher) { ix.searchers.Put(s) }
+
+// SearchBatch answers many queries in one call, fanning the batch out over
+// the worker pool with one pooled Searcher per worker. Results align with
+// queries by position and agree exactly with looped single Search calls.
+// It is safe to call concurrently with Search and Add.
+func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions) ([][]Result, error) {
+	if k <= 0 {
+		return nil, errors.New("usp: k must be positive")
+	}
+	for i, q := range queries {
+		if len(q) != ix.data.Dim {
+			return nil, fmt.Errorf("usp: query %d dim %d, index dim %d", i, len(q), ix.data.Dim)
+		}
+	}
+	out := make([][]Result, len(queries))
+	var firstErr atomic.Pointer[error]
+	par.ForChunksMin(len(queries), 1, func(lo, hi int) {
+		s := ix.getSearcher()
+		defer ix.putSearcher(s)
+		for i := lo; i < hi; i++ {
+			// k and every dim were validated above, so errors should be
+			// impossible — but if Search ever grows a new failure mode,
+			// propagate it rather than silently returning a nil row.
+			res, err := s.Search(queries[i], k, opt)
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+			out[i] = res
+		}
+	})
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
+	}
+	return out, nil
+}

@@ -24,6 +24,7 @@ package usp
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -118,11 +119,23 @@ type SearchOptions struct {
 }
 
 // Index is a built USP index over a dataset.
+//
+// Concurrency: Search, SearchBatch, CandidateSet, and Searcher queries may
+// run concurrently with each other and with Add. Queries take the read side
+// of an RWMutex and Add the write side, so lookups never observe a
+// half-appended vector.
 type Index struct {
 	data  *dataset.Dataset
 	ens   *core.Ensemble
 	hier  *core.Hierarchy
 	stats BuildStats
+
+	// mu orders queries (read side) against Add (write side).
+	mu sync.RWMutex
+	// searchers pools query contexts for the convenience entry points
+	// (Search, SearchBatch, CandidateSet) so they stay allocation-lean
+	// without the caller managing Searchers explicitly.
+	searchers sync.Pool
 }
 
 // Build trains a USP index over the given vectors (all of equal length).
@@ -131,10 +144,13 @@ func Build(vectors [][]float32, opt Options) (*Index, error) {
 		return nil, errors.New("usp: need at least 4 vectors")
 	}
 	opt = opt.withDefaults()
-	ds := dataset.FromRowsCopy(vectors)
 	if len(opt.Hierarchy) > 0 && opt.Ensemble > 1 {
 		return nil, errors.New("usp: Hierarchy and Ensemble > 1 are mutually exclusive")
 	}
+	ds := dataset.FromRowsCopy(vectors)
+	// Cache per-row squared norms so the candidate scan can use the fused
+	// distance kernel; Append keeps the cache extended for Add.
+	ds.EnsureSqNorms(false)
 
 	cfg := core.Config{
 		Bins:      opt.Bins,
@@ -181,15 +197,21 @@ func Build(vectors [][]float32, opt Options) (*Index, error) {
 // Stats reports offline-phase metrics.
 func (ix *Index) Stats() BuildStats { return ix.stats }
 
-// Len returns the number of indexed vectors.
-func (ix *Index) Len() int { return ix.data.N }
+// Len returns the number of indexed vectors. Safe to call concurrently
+// with Add.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.data.N
+}
 
 // Dim returns the vector dimensionality.
 func (ix *Index) Dim() int { return ix.data.Dim }
 
 // CandidateSet returns the ids the index would scan for q (Algorithm 2,
 // step 2) — exposed so callers can hand candidates to their own scorer
-// (e.g. a ScaNN pipeline, as in §5.4.3).
+// (e.g. a ScaNN pipeline, as in §5.4.3). It is a thin wrapper over the
+// batched engine's candidate gathering, using a pooled Searcher.
 func (ix *Index) CandidateSet(q []float32, opt SearchOptions) ([]int, error) {
 	if len(q) != ix.data.Dim {
 		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.data.Dim)
@@ -198,48 +220,55 @@ func (ix *Index) CandidateSet(q []float32, opt SearchOptions) ([]int, error) {
 	if probes <= 0 {
 		probes = 1
 	}
-	if ix.hier != nil {
-		return ix.hier.Candidates(q, probes), nil
-	}
-	mode := core.BestConfidence
-	if opt.UnionEnsemble {
-		mode = core.UnionProbe
-	}
-	return ix.ens.Candidates(q, probes, mode), nil
+	s := ix.getSearcher()
+	defer ix.putSearcher(s)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	s.gatherCandidates(q, probes, opt.UnionEnsemble)
+	return core.ToInts(s.cands), nil
 }
 
-// Search returns the k approximate nearest neighbors of q.
+// Search returns the k approximate nearest neighbors of q. It is a thin
+// wrapper over a pooled Searcher; callers issuing many queries from one
+// goroutine should hold their own (NewSearcher) and use SearchInto, and
+// callers with many queries in hand should prefer SearchBatch.
 func (ix *Index) Search(q []float32, k int, opt SearchOptions) ([]Result, error) {
-	if k <= 0 {
-		return nil, errors.New("usp: k must be positive")
-	}
-	cands, err := ix.CandidateSet(q, opt)
-	if err != nil {
-		return nil, err
-	}
-	ns := knn.SearchSubset(ix.data, cands, q, k)
-	out := make([]Result, len(ns))
-	for i, n := range ns {
-		out[i] = Result{ID: n.Index, Distance: n.Dist}
-	}
-	return out, nil
+	s := ix.getSearcher()
+	defer ix.putSearcher(s)
+	return s.Search(q, k, opt)
 }
 
 // Add inserts a new vector into the index without retraining: the trained
 // model routes it to its most probable bin(s), the same decision rule
 // queries use, so it is immediately findable. Returns the new vector's id.
-// Heavy drift from the training distribution degrades partition quality;
-// rebuild periodically under churn.
+// Safe to call concurrently with queries. Heavy drift from the training
+// distribution degrades partition quality; rebuild periodically under churn.
 func (ix *Index) Add(vec []float32) (int, error) {
 	if len(vec) != ix.data.Dim {
 		return 0, fmt.Errorf("usp: vector dim %d, index dim %d", len(vec), ix.data.Dim)
 	}
+	// Route before taking the write lock: the trained models are immutable,
+	// so the forward passes need no exclusivity. Only the appends (dataset
+	// row, Assign, spill lists) run under the lock, keeping concurrent
+	// searches unblocked during inference. A pooled Searcher's scratch
+	// backs the forward passes, so a sustained Add stream allocates only
+	// the appended storage itself.
+	s := ix.getSearcher()
+	defer ix.putSearcher(s)
+	var leaf int
+	if ix.hier != nil {
+		leaf = ix.hier.RouteLeafWith(&s.qs, vec)
+	} else {
+		s.routeBins = ix.ens.RouteBinsWith(&s.qs, vec, s.routeBins[:0])
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	id := ix.data.N
 	ix.data.Append(vec)
 	if ix.hier != nil {
-		ix.hier.Insert(id, vec)
+		ix.hier.InsertRouted(id, leaf)
 	} else {
-		ix.ens.Insert(id, vec)
+		ix.ens.InsertRouted(id, s.routeBins)
 	}
 	return id, nil
 }

@@ -1,0 +1,330 @@
+package usp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/vecmath"
+)
+
+// within reports whether a and b agree to the given relative tolerance
+// (plus a small absolute floor for near-zero distances).
+func within(a, b, rel float64) bool {
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	mag := b
+	if mag < 0 {
+		mag = -mag
+	}
+	return diff <= rel*mag+1e-4
+}
+
+// buildSmallIndex trains a compact ensemble index for engine tests.
+func buildSmallIndex(t testing.TB, seed int64, ensemble int) (*Index, [][]float32) {
+	t.Helper()
+	vecs, _ := clusteredVectors(seed, 600, 8, 4)
+	ix, err := Build(vecs, Options{
+		Bins: 4, Ensemble: ensemble, Epochs: 30, Hidden: []int{16}, Seed: seed + 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, vecs
+}
+
+// TestSearcherMatchesLegacyPipeline replays the seed implementation's query
+// path — CandidateSet followed by an exhaustive SquaredL2 scan over the
+// subset — and requires the zero-allocation engine to return the same
+// neighbor ids in the same order, with distances matching to float32
+// round-off (the fused kernel reassociates the arithmetic).
+func TestSearcherMatchesLegacyPipeline(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  SearchOptions
+	}{
+		{"best1", SearchOptions{Probes: 1}},
+		{"best2", SearchOptions{Probes: 2}},
+		{"union2", SearchOptions{Probes: 2, UnionEnsemble: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix, vecs := buildSmallIndex(t, 41, 2)
+			s := ix.NewSearcher()
+			for qi := 0; qi < 50; qi++ {
+				q := vecs[qi]
+				cands, err := ix.CandidateSet(q, tc.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := knn.SearchSubset(ix.data, cands, q, 10)
+				got, err := s.Search(q, 10, tc.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s.Scanned() != len(cands) {
+					t.Fatalf("q%d: scanned %d, want %d", qi, s.Scanned(), len(cands))
+				}
+				if len(got) != len(want) {
+					t.Fatalf("q%d: %d results, want %d", qi, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].ID != want[i].Index {
+						// The fused kernel reassociates the arithmetic, so
+						// candidates whose true distances agree to float32
+						// round-off may swap ranks. Any other id change is a
+						// correctness bug.
+						dGot := vecmath.SquaredL2(q, ix.data.Row(got[i].ID))
+						if !within(float64(dGot), float64(want[i].Dist), 1e-3) {
+							t.Fatalf("q%d result[%d]: id %d (exact dist %v), want id %d (dist %v)",
+								qi, i, got[i].ID, dGot, want[i].Index, want[i].Dist)
+						}
+					}
+					if !within(float64(got[i].Distance), float64(want[i].Dist), 1e-3) {
+						t.Fatalf("q%d result[%d]: dist %v, want %v", qi, i, got[i].Distance, want[i].Dist)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSearcherMatchesLegacyPipelineHierarchy(t *testing.T) {
+	vecs, _ := clusteredVectors(43, 600, 8, 4)
+	ix, err := Build(vecs, Options{Hierarchy: []int{2, 2}, Epochs: 15, Hidden: []int{8}, Seed: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	for qi := 0; qi < 30; qi++ {
+		q := vecs[qi]
+		cands, err := ix.CandidateSet(q, SearchOptions{Probes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := knn.SearchSubset(ix.data, cands, q, 5)
+		got, err := s.Search(q, 5, SearchOptions{Probes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q%d: %d results, want %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].ID != want[i].Index {
+				dGot := vecmath.SquaredL2(q, ix.data.Row(got[i].ID))
+				if !within(float64(dGot), float64(want[i].Dist), 1e-3) {
+					t.Fatalf("q%d result[%d]: id %d, want %d", qi, i, got[i].ID, want[i].Index)
+				}
+			}
+		}
+	}
+}
+
+// TestSearcherAllocations asserts the acceptance criterion: at most 2
+// allocations per steady-state query through Searcher.Search (the engine
+// itself performs none; the returned result slice is one), and exactly 0
+// through SearchInto with a recycled destination.
+func TestSearcherAllocations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  SearchOptions
+	}{
+		{"best", SearchOptions{Probes: 2}},
+		{"union", SearchOptions{Probes: 2, UnionEnsemble: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ix, vecs := buildSmallIndex(t, 47, 2)
+			s := ix.NewSearcher()
+			for i := 0; i < 20; i++ { // warm every scratch buffer
+				if _, err := s.Search(vecs[i], 10, tc.opt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			q := vecs[3]
+			allocs := testing.AllocsPerRun(200, func() {
+				if _, err := s.Search(q, 10, tc.opt); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 2 {
+				t.Fatalf("Searcher.Search: %v allocs per query, want ≤ 2", allocs)
+			}
+			dst := make([]Result, 0, 10)
+			allocs = testing.AllocsPerRun(200, func() {
+				var err error
+				dst, err = s.SearchInto(dst[:0], q, 10, tc.opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("Searcher.SearchInto: %v allocs per query, want 0", allocs)
+			}
+		})
+	}
+}
+
+func TestSearcherAllocationsHierarchy(t *testing.T) {
+	vecs, _ := clusteredVectors(49, 500, 8, 4)
+	ix, err := Build(vecs, Options{Hierarchy: []int{2, 2}, Epochs: 10, Hidden: []int{8}, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	dst := make([]Result, 0, 10)
+	for i := 0; i < 20; i++ {
+		dst, err = s.SearchInto(dst[:0], vecs[i], 10, SearchOptions{Probes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := vecs[3]
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		dst, err = s.SearchInto(dst[:0], q, 10, SearchOptions{Probes: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("hierarchy SearchInto: %v allocs per query, want 0", allocs)
+	}
+}
+
+// TestSearchBatchAgreesWithSearch requires position-aligned, id-exact
+// agreement between the parallel batch entry point and looped single-query
+// calls.
+func TestSearchBatchAgreesWithSearch(t *testing.T) {
+	ix, vecs := buildSmallIndex(t, 53, 2)
+	queries := vecs[:64]
+	for _, opt := range []SearchOptions{
+		{Probes: 1},
+		{Probes: 2, UnionEnsemble: true},
+	} {
+		batch, err := ix.SearchBatch(queries, 10, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(queries) {
+			t.Fatalf("%d batch results, want %d", len(batch), len(queries))
+		}
+		for i, q := range queries {
+			single, err := ix.Search(q, 10, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch[i]) != len(single) {
+				t.Fatalf("query %d: batch %d results, single %d", i, len(batch[i]), len(single))
+			}
+			for j := range single {
+				if batch[i][j] != single[j] {
+					t.Fatalf("query %d result %d: batch %+v, single %+v", i, j, batch[i][j], single[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBatchValidation(t *testing.T) {
+	ix, vecs := buildSmallIndex(t, 59, 1)
+	if _, err := ix.SearchBatch(vecs[:4], 0, SearchOptions{}); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	bad := [][]float32{vecs[0], make([]float32, 3)}
+	if _, err := ix.SearchBatch(bad, 5, SearchOptions{}); err == nil {
+		t.Fatal("dim mismatch must fail")
+	}
+	empty, err := ix.SearchBatch(nil, 5, SearchOptions{})
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(empty))
+	}
+}
+
+// TestConcurrentSearchAndAdd is the -race regression test for the
+// Search-vs-Add data race the seed had: readers hammer Search, SearchBatch,
+// and CandidateSet while a writer streams Adds into the same Index. Run
+// under -race this fails loudly without the RWMutex; with it, every query
+// must also return internally consistent results.
+func TestConcurrentSearchAndAdd(t *testing.T) {
+	ix, vecs := buildSmallIndex(t, 61, 2)
+	const (
+		readers    = 4
+		queriesPer = 150
+		adds       = 300
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			s := ix.NewSearcher()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for i := 0; i < queriesPer; i++ {
+				q := vecs[rng.Intn(len(vecs))]
+				switch i % 3 {
+				case 0:
+					res, err := s.Search(q, 5, SearchOptions{Probes: 2})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(res) == 0 {
+						continue
+					}
+					for j := 1; j < len(res); j++ {
+						if res[j].Distance < res[j-1].Distance {
+							errs <- fmt.Errorf("reader %d: unsorted results", r)
+							return
+						}
+					}
+				case 1:
+					if _, err := ix.SearchBatch(vecs[:8], 3, SearchOptions{Probes: 1}); err != nil {
+						errs <- err
+						return
+					}
+				default:
+					if _, err := ix.CandidateSet(q, SearchOptions{Probes: 1, UnionEnsemble: true}); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(999))
+		for i := 0; i < adds; i++ {
+			base := vecs[rng.Intn(len(vecs))]
+			nv := make([]float32, len(base))
+			copy(nv, base)
+			nv[0] += float32(rng.NormFloat64()) * 0.01
+			if _, err := ix.Add(nv); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if ix.Len() != 600+adds {
+		t.Fatalf("Len = %d, want %d", ix.Len(), 600+adds)
+	}
+	// Every inserted point must be findable afterwards.
+	res, err := ix.Search(vecs[0], 5, SearchOptions{Probes: 4})
+	if err != nil || len(res) == 0 {
+		t.Fatalf("post-churn search: %v, %d results", err, len(res))
+	}
+}
