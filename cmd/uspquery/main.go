@@ -2,9 +2,13 @@
 // cmd/usptrain. Queries come from an fvecs file; results are printed one
 // line per query as "id:distance" pairs.
 //
+// Self-contained snapshots (usptrain's default output) serve on their own;
+// legacy model-only files additionally need the original dataset via -data.
+//
 // Usage:
 //
-//	uspquery -index index.usp -data sift.fvecs -queries q.fvecs -k 10 -probes 2
+//	uspquery -index index.usps -queries q.fvecs -k 10 -probes 2
+//	uspquery -index index.usp -data sift.fvecs -queries q.fvecs -k 10
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	usp "repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -22,44 +27,92 @@ import (
 func main() {
 	var (
 		indexPath = flag.String("index", "", "index file from usptrain (required)")
-		dataPath  = flag.String("data", "", "the fvecs dataset the index was built on (required)")
+		dataPath  = flag.String("data", "", "fvecs dataset (required for legacy model-only indexes)")
 		queryPath = flag.String("queries", "", "fvecs query file (required)")
 		k         = flag.Int("k", 10, "neighbors to return")
 		probes    = flag.Int("probes", 1, "bins to probe (m')")
 		union     = flag.Bool("union", false, "union ensemble candidates instead of best-confidence")
 	)
 	flag.Parse()
-	if *indexPath == "" || *dataPath == "" || *queryPath == "" {
+	if *indexPath == "" || *queryPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	ens, hier, err := core.LoadIndexFile(*indexPath)
-	if err != nil {
-		log.Fatalf("loading index: %v", err)
-	}
-	ds, err := dataset.LoadFvecsFile(*dataPath)
-	if err != nil {
-		log.Fatalf("loading dataset: %v", err)
-	}
 	queries, err := dataset.LoadFvecsFile(*queryPath)
 	if err != nil {
 		log.Fatalf("loading queries: %v", err)
+	}
+
+	if usp.IsSnapshotFile(*indexPath) {
+		serveSnapshot(*indexPath, queries, *k, *probes, *union)
+		return
+	}
+	if *dataPath == "" {
+		log.Fatalf("%s is a legacy model-only index: pass the dataset it was built on via -data", *indexPath)
+	}
+	serveLegacy(*indexPath, *dataPath, queries, *k, *probes, *union)
+}
+
+// serveSnapshot runs the query file through a loaded self-contained
+// snapshot using the zero-allocation engine.
+func serveSnapshot(path string, queries *dataset.Dataset, k, probes int, union bool) {
+	start := time.Now()
+	ix, err := usp.LoadFile(path)
+	if err != nil {
+		log.Fatalf("loading snapshot: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded snapshot: %d live vectors, dim %d, %d models (%s)\n",
+		ix.Len(), ix.Dim(), ix.Stats().Models, time.Since(start).Round(time.Millisecond))
+	if queries.Dim != ix.Dim() {
+		log.Fatalf("query dim %d != index dim %d", queries.Dim, ix.Dim())
+	}
+
+	opt := usp.SearchOptions{Probes: probes, UnionEnsemble: union}
+	s := ix.NewSearcher()
+	dst := make([]usp.Result, 0, k)
+	start = time.Now()
+	totalCands := 0
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		dst, err = s.SearchInto(dst[:0], q, k, opt)
+		if err != nil {
+			log.Fatalf("query %d: %v", qi, err)
+		}
+		totalCands += s.Scanned()
+		fmt.Printf("q%d:", qi)
+		for _, r := range dst {
+			fmt.Printf(" %d:%.4f", r.ID, r.Distance)
+		}
+		fmt.Println()
+	}
+	reportTiming(queries.N, totalCands, time.Since(start))
+}
+
+// serveLegacy preserves the original pipeline for model-only index files.
+func serveLegacy(indexPath, dataPath string, queries *dataset.Dataset, k, probes int, union bool) {
+	ens, hier, err := core.LoadIndexFile(indexPath)
+	if err != nil {
+		log.Fatalf("loading index: %v", err)
+	}
+	ds, err := dataset.LoadFvecsFile(dataPath)
+	if err != nil {
+		log.Fatalf("loading dataset: %v", err)
 	}
 	if queries.Dim != ds.Dim {
 		log.Fatalf("query dim %d != dataset dim %d", queries.Dim, ds.Dim)
 	}
 
 	mode := core.BestConfidence
-	if *union {
+	if union {
 		mode = core.UnionProbe
 	}
 	var qs core.QueryScratch // one scratch across the whole query file
 	candidates := func(q []float32) []int {
 		if hier != nil {
-			return hier.CandidatesWith(&qs, q, *probes)
+			return hier.CandidatesWith(&qs, q, probes)
 		}
-		return ens.CandidatesWith(&qs, q, *probes, mode)
+		return ens.CandidatesWith(&qs, q, probes, mode)
 	}
 	start := time.Now()
 	totalCands := 0
@@ -67,16 +120,19 @@ func main() {
 		q := queries.Row(qi)
 		cands := candidates(q)
 		totalCands += len(cands)
-		ns := knn.SearchSubset(ds, cands, q, *k)
+		ns := knn.SearchSubset(ds, cands, q, k)
 		fmt.Printf("q%d:", qi)
 		for _, n := range ns {
 			fmt.Printf(" %d:%.4f", n.Index, n.Dist)
 		}
 		fmt.Println()
 	}
-	elapsed := time.Since(start)
+	reportTiming(queries.N, totalCands, time.Since(start))
+}
+
+func reportTiming(n, totalCands int, elapsed time.Duration) {
 	fmt.Fprintf(os.Stderr, "%d queries in %s (%.1f us/query, avg |C| %.1f)\n",
-		queries.N, elapsed.Round(time.Millisecond),
-		float64(elapsed.Nanoseconds())/float64(queries.N)/1e3,
-		float64(totalCands)/float64(queries.N))
+		n, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/float64(n)/1e3,
+		float64(totalCands)/float64(n))
 }

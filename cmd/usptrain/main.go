@@ -1,10 +1,16 @@
 // Command usptrain trains a USP partitioning index over an fvecs dataset
-// and writes the serialized ensemble (models + lookup tables) to disk for
-// cmd/uspquery to serve.
+// and writes it to disk for cmd/uspquery or examples/server to serve.
+//
+// By default it writes a self-contained versioned snapshot (models, lookup
+// tables, dataset rows, norm cache, tombstones — see DESIGN.md) that serves
+// queries on its own. -legacy writes the old model-only format, which needs
+// the original dataset file alongside it at query time.
 //
 // Usage:
 //
-//	usptrain -data sift.fvecs -bins 16 -ensemble 3 -o index.usp
+//	usptrain -data sift.fvecs -bins 16 -ensemble 3 -o index.usps
+//	usptrain -data sift.fvecs -hierarchy 16,16 -o index.usps
+//	usptrain -data sift.fvecs -legacy -o index.usp
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	usp "repro"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -29,10 +36,11 @@ func main() {
 		ensemble = flag.Int("ensemble", 1, "ensemble size e")
 		hier     = flag.String("hierarchy", "", "comma-separated branching factors (e.g. 16,16); overrides -bins/-ensemble")
 		kPrime   = flag.Int("kprime", 10, "k'-NN matrix width")
-		eta      = flag.Float64("eta", 10, "balance weight")
+		eta      = flag.Float64("eta", 10, "balance weight (0 disables the balance term)")
 		epochs   = flag.Int("epochs", 60, "training epochs")
 		hidden   = flag.Int("hidden", 128, "hidden width (0 = logistic regression)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
+		legacy   = flag.Bool("legacy", false, "write the legacy model-only format instead of a full snapshot")
 		verbose  = flag.Bool("v", false, "log per-epoch losses")
 	)
 	flag.Parse()
@@ -47,23 +55,8 @@ func main() {
 	}
 	fmt.Printf("loaded %d vectors of dim %d\n", ds.N, ds.Dim)
 
-	kp := *kPrime
-	if kp >= ds.N {
-		kp = ds.N - 1
-	}
-	cfg := core.Config{
-		Bins: *bins, KPrime: kp, Eta: *eta, Epochs: *epochs, Seed: *seed,
-	}
-	if *hidden > 0 {
-		cfg.Hidden = []int{*hidden}
-		cfg.Dropout = 0.1
-	}
-	if *verbose {
-		cfg.Logf = log.Printf
-	}
-
+	var levels []int
 	if *hier != "" {
-		var levels []int
 		for _, part := range strings.Split(*hier, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || v < 2 {
@@ -71,6 +64,65 @@ func main() {
 			}
 			levels = append(levels, v)
 		}
+	}
+
+	if *legacy {
+		trainLegacy(ds, levels, *bins, *ensemble, *kPrime, *eta, *epochs, *hidden, *seed, *verbose, *out)
+		return
+	}
+
+	opt := usp.Options{
+		Bins: *bins, Ensemble: *ensemble, Hierarchy: levels,
+		KPrime: *kPrime, Eta: usp.Float(*eta), Epochs: *epochs, Seed: *seed,
+	}
+	if *hidden > 0 {
+		opt.Hidden = []int{*hidden}
+	} else {
+		opt.Logistic = true
+	}
+	if *verbose {
+		opt.Logf = log.Printf
+	}
+
+	start := time.Now()
+	ix, err := usp.Build(ds.Rows(), opt)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	st := ix.Stats()
+	fmt.Printf("trained %d model(s), %d bins, %d params total, in %s\n",
+		st.Models, st.Bins, st.Params, time.Since(start).Round(time.Millisecond))
+	if err := ix.SaveFile(*out); err != nil {
+		log.Fatalf("writing snapshot: %v", err)
+	}
+	if info, err := os.Stat(*out); err == nil {
+		fmt.Printf("wrote self-contained snapshot to %s (%d bytes)\n", *out, info.Size())
+	} else {
+		fmt.Printf("wrote self-contained snapshot to %s\n", *out)
+	}
+}
+
+// trainLegacy preserves the original model-only pipeline for users with
+// existing uspquery -data workflows.
+func trainLegacy(ds *dataset.Dataset, levels []int, bins, ensemble, kPrime int,
+	eta float64, epochs, hidden int, seed int64, verbose bool, out string) {
+
+	kp := kPrime
+	if kp >= ds.N {
+		kp = ds.N - 1
+	}
+	cfg := core.Config{
+		Bins: bins, KPrime: kp, Eta: eta, Epochs: epochs, Seed: seed,
+	}
+	if hidden > 0 {
+		cfg.Hidden = []int{hidden}
+		cfg.Dropout = 0.1
+	}
+	if verbose {
+		cfg.Logf = log.Printf
+	}
+
+	if len(levels) > 0 {
 		start := time.Now()
 		h, stats, err := core.TrainHierarchy(ds, levels, cfg)
 		if err != nil {
@@ -78,10 +130,10 @@ func main() {
 		}
 		fmt.Printf("trained hierarchy of %d models (%d leaf bins, %d params) in %s\n",
 			len(stats), h.NumBins, h.TotalParams(), time.Since(start).Round(time.Millisecond))
-		if err := core.SaveIndexFile(*out, nil, h); err != nil {
+		if err := core.SaveIndexFile(out, nil, h); err != nil {
 			log.Fatalf("writing index: %v", err)
 		}
-		fmt.Printf("wrote hierarchical index to %s\n", *out)
+		fmt.Printf("wrote legacy hierarchical index to %s\n", out)
 		return
 	}
 
@@ -90,14 +142,14 @@ func main() {
 	fmt.Printf("k'-NN matrix (k'=%d) built in %s\n", kp, time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
-	ens, stats, err := core.TrainEnsemble(ds, mat, cfg, *ensemble)
+	ens, stats, err := core.TrainEnsemble(ds, mat, cfg, ensemble)
 	if err != nil {
 		log.Fatalf("training: %v", err)
 	}
 	fmt.Printf("trained %d model(s), %d params total, in %s\n",
 		ens.Size(), stats.TotalParams(), time.Since(start).Round(time.Millisecond))
-	if err := core.SaveIndexFile(*out, ens, nil); err != nil {
+	if err := core.SaveIndexFile(out, ens, nil); err != nil {
 		log.Fatalf("writing index: %v", err)
 	}
-	fmt.Printf("wrote index to %s\n", *out)
+	fmt.Printf("wrote legacy index to %s\n", out)
 }

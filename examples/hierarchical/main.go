@@ -22,14 +22,14 @@ func main() {
 
 	fmt.Println("training flat 16-bin index...")
 	flat, err := usp.Build(base.Rows(), usp.Options{
-		Bins: 16, Epochs: 40, Hidden: []int{64}, Seed: 2, Eta: 7,
+		Bins: 16, Epochs: 40, Hidden: []int{64}, Seed: 2, Eta: usp.Float(7),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("training hierarchical 16x16 = 256-bin index...")
 	hier, err := usp.Build(base.Rows(), usp.Options{
-		Hierarchy: []int{16, 16}, Epochs: 40, Hidden: []int{64}, Seed: 2, Eta: 10,
+		Hierarchy: []int{16, 16}, Epochs: 40, Hidden: []int{64}, Seed: 2, Eta: usp.Float(10),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -36,7 +36,7 @@ func main() {
 
 	fmt.Println("training USP partitioner...")
 	ix, err := usp.Build(base.Rows(), usp.Options{
-		Bins: 16, Ensemble: 3, Epochs: 40, Hidden: []int{64}, Seed: 3, Eta: 7,
+		Bins: 16, Ensemble: 3, Epochs: 40, Hidden: []int{64}, Seed: 3, Eta: usp.Float(7),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,12 +1,16 @@
 // Server: a production-style ANN search service. Trains a USP index at
-// startup, then serves JSON k-NN queries over HTTP — the distributed-
-// serving setting §2.2.2 argues space partitioning is naturally suited to.
+// startup (or loads a snapshot via -index), then serves JSON k-NN queries
+// over HTTP — the distributed-serving setting §2.2.2 argues space
+// partitioning is naturally suited to.
 //
-// Request handling rides the zero-allocation query engine: a sync.Pool
-// recycles usp.Searchers across requests (each owns its scratch buffers), a
-// /search/batch endpoint fans multi-query requests out over the worker pool,
-// and /add streams new vectors into the live index — safe concurrently with
-// searches thanks to the index's reader/writer locking.
+// Request handling rides the lock-free query engine: every query resolves
+// an atomically published epoch snapshot, so searches never contend with
+// each other, with /add and /delete mutations, or with the background
+// compactor. A sync.Pool recycles usp.Searchers across requests (each owns
+// its scratch buffers), /search/batch fans multi-query requests out over
+// the worker pool, /delete tombstones vectors, /compact folds pending
+// mutations into fresh tables, and /save streams a self-contained snapshot
+// to disk without pausing traffic.
 //
 //	go run ./examples/server -addr :8080
 //	curl -s localhost:8080/stats
@@ -15,6 +19,9 @@
 //	curl -s -X POST localhost:8080/search/batch \
 //	     -d '{"vectors": [[...], [...]], "k": 5, "probes": 2}'
 //	curl -s -X POST localhost:8080/add -d '{"vector": [ ...64 floats... ]}'
+//	curl -s -X POST localhost:8080/delete -d '{"id": 17}'
+//	curl -s -X POST localhost:8080/compact
+//	curl -s -X POST localhost:8080/save -d '{"path": "index.usps"}'  # relative to -save-dir
 //
 // Run with -demo to start, fire a few requests through the full HTTP stack,
 // and exit (used by the repository's smoke tests).
@@ -29,6 +36,9 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -69,16 +79,38 @@ type addResponse struct {
 	ID int `json:"id"`
 }
 
+type deleteRequest struct {
+	ID int `json:"id"`
+}
+
+type deleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+type saveRequest struct {
+	Path string `json:"path"`
+}
+
+type saveResponse struct {
+	Path    string `json:"path"`
+	Bytes   int64  `json:"bytes"`
+	Elapsed string `json:"elapsed"`
+}
+
 type server struct {
 	ix *usp.Index
+	// saveDir confines /save: snapshot paths are resolved relative to it
+	// and may not escape it, so HTTP clients cannot overwrite arbitrary
+	// files the process can write.
+	saveDir string
 	// searchers recycles query contexts across requests: each Searcher owns
 	// the scratch buffers of one in-flight query, so steady-state request
 	// handling does not allocate on the search path.
 	searchers sync.Pool
 }
 
-func newServer(ix *usp.Index) *server {
-	s := &server{ix: ix}
+func newServer(ix *usp.Index, saveDir string) *server {
+	s := &server{ix: ix, saveDir: saveDir}
 	s.searchers.New = func() any { return ix.NewSearcher() }
 	return s
 }
@@ -117,10 +149,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.IDs = append(resp.IDs, n.ID)
 		resp.Distances = append(resp.Distances, n.Distance)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
@@ -153,10 +182,7 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		resp.IDs[i], resp.Distances[i] = ids, ds
 	}
 	resp.Elapsed = time.Since(start).String()
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		log.Printf("encoding batch response: %v", err)
-	}
+	writeJSON(w, resp)
 }
 
 func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
@@ -174,48 +200,139 @@ func (s *server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(addResponse{ID: id}); err != nil {
-		log.Printf("encoding add response: %v", err)
+	writeJSON(w, addResponse{ID: id})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
 	}
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.ix.Delete(req.ID); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, deleteResponse{Deleted: true})
+}
+
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	s.ix.Compact()
+	writeJSON(w, map[string]any{
+		"elapsed":   time.Since(start).String(),
+		"lifecycle": s.ix.Lifecycle(),
+	})
+}
+
+func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req saveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+		http.Error(w, "bad request: need {\"path\": ...}", http.StatusBadRequest)
+		return
+	}
+	rel := filepath.Clean(req.Path)
+	if filepath.IsAbs(rel) || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		http.Error(w, "path must stay inside the -save-dir directory", http.StatusBadRequest)
+		return
+	}
+	full := filepath.Join(s.saveDir, rel)
+	start := time.Now()
+	if err := s.ix.SaveFile(full); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	info, err := os.Stat(full)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, saveResponse{
+		Path: full, Bytes: info.Size(), Elapsed: time.Since(start).String(),
+	})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.ix.Stats()
+	writeJSON(w, map[string]any{
+		"vectors":   s.ix.Len(),
+		"dim":       s.ix.Dim(),
+		"bins":      st.Bins,
+		"models":    st.Models,
+		"params":    st.Params,
+		"lifecycle": s.ix.Lifecycle(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(map[string]any{
-		"vectors": s.ix.Len(),
-		"dim":     s.ix.Dim(),
-		"bins":    st.Bins,
-		"models":  st.Models,
-		"params":  st.Params,
-	}); err != nil {
-		log.Printf("encoding stats: %v", err)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
 	}
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	indexPath := flag.String("index", "", "serve this snapshot instead of training a demo corpus")
+	saveDir := flag.String("save-dir", ".", "directory /save snapshots are confined to")
 	demo := flag.Bool("demo", false, "self-test: start, query, exit")
 	flag.Parse()
 
-	log.Println("generating corpus and training index...")
-	rng := rand.New(rand.NewSource(9))
-	corpus := dataset.GaussianMixture(dataset.GaussianMixtureConfig{
-		N: 3000, Dim: 64, Clusters: 24, ClusterStd: 0.8, CenterBox: 3,
-	}, rng)
-	ix, err := usp.Build(corpus.Rows(), usp.Options{
-		Bins: 16, Ensemble: 2, Epochs: 30, Hidden: []int{64}, Seed: 1,
-	})
-	if err != nil {
-		log.Fatal(err)
+	var ix *usp.Index
+	var corpus *dataset.Labeled
+	if *indexPath != "" {
+		log.Printf("loading snapshot %s...", *indexPath)
+		loaded, err := usp.LoadFile(*indexPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix = loaded
+		log.Printf("loaded %d vectors of dim %d", ix.Len(), ix.Dim())
+	} else {
+		log.Println("generating corpus and training index...")
+		rng := rand.New(rand.NewSource(9))
+		corpus = dataset.GaussianMixture(dataset.GaussianMixtureConfig{
+			N: 3000, Dim: 64, Clusters: 24, ClusterStd: 0.8, CenterBox: 3,
+		}, rng)
+		var err error
+		ix, err = usp.Build(corpus.Rows(), usp.Options{
+			Bins: 16, Ensemble: 2, Epochs: 30, Hidden: []int{64}, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	s := newServer(ix)
+	// The demo saves into (and reloads from) a throwaway directory.
+	var demoDir string
+	if *demo {
+		var err error
+		if demoDir, err = os.MkdirTemp("", "usp-server-demo"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(demoDir)
+		*saveDir = demoDir
+	}
+	s := newServer(ix, *saveDir)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/search/batch", s.handleSearchBatch)
 	mux.HandleFunc("/add", s.handleAdd)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/compact", s.handleCompact)
+	mux.HandleFunc("/save", s.handleSave)
 	mux.HandleFunc("/stats", s.handleStats)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -228,6 +345,9 @@ func main() {
 	if !*demo {
 		log.Fatal(srv.Serve(ln))
 	}
+	if corpus == nil {
+		log.Fatal("-demo requires the built-in training corpus (omit -index)")
+	}
 
 	go func() {
 		if err := srv.Serve(ln); err != http.ErrServerClosed {
@@ -235,6 +355,23 @@ func main() {
 		}
 	}()
 	base := "http://" + ln.Addr().String()
+
+	post := func(path string, req, resp any) {
+		body, _ := json.Marshal(req)
+		r, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			log.Fatalf("%s: HTTP %d", path, r.StatusCode)
+		}
+		if resp != nil {
+			if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 
 	// Exercise the full HTTP stack.
 	resp, err := http.Get(base + "/stats")
@@ -248,35 +385,19 @@ func main() {
 	resp.Body.Close()
 	fmt.Printf("stats: %v\n", stats)
 
-	body, _ := json.Marshal(searchRequest{Vector: corpus.Row(3), K: 5, Probes: 2})
-	resp, err = http.Post(base+"/search", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
 	var sr searchResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
+	post("/search", searchRequest{Vector: corpus.Row(3), K: 5, Probes: 2}, &sr)
 	fmt.Printf("search: ids=%v scanned=%d elapsed=%s\n", sr.IDs, sr.Scanned, sr.Elapsed)
 	if len(sr.IDs) != 5 || sr.IDs[0] != 3 {
 		log.Fatalf("demo self-check failed: %+v", sr)
 	}
 
 	// Batch search: rows 3, 7, 11 must each be their own nearest neighbor.
-	bbody, _ := json.Marshal(batchSearchRequest{
+	var br batchSearchResponse
+	post("/search/batch", batchSearchRequest{
 		Vectors: [][]float32{corpus.Row(3), corpus.Row(7), corpus.Row(11)},
 		K:       3, Probes: 2,
-	})
-	resp, err = http.Post(base+"/search/batch", "application/json", bytes.NewReader(bbody))
-	if err != nil {
-		log.Fatal(err)
-	}
-	var br batchSearchResponse
-	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
+	}, &br)
 	fmt.Printf("batch search: ids=%v elapsed=%s\n", br.IDs, br.Elapsed)
 	if len(br.IDs) != 3 || br.IDs[0][0] != 3 || br.IDs[1][0] != 7 || br.IDs[2][0] != 11 {
 		log.Fatalf("batch demo self-check failed: %+v", br)
@@ -285,29 +406,51 @@ func main() {
 	// Add a vector, then find it.
 	nv := append([]float32(nil), corpus.Row(5)...)
 	nv[0] += 0.01
-	abody, _ := json.Marshal(addRequest{Vector: nv})
-	resp, err = http.Post(base+"/add", "application/json", bytes.NewReader(abody))
-	if err != nil {
-		log.Fatal(err)
-	}
 	var ar addResponse
-	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
-	body, _ = json.Marshal(searchRequest{Vector: nv, K: 1, Probes: 2})
-	resp, err = http.Post(base+"/search", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		log.Fatal(err)
-	}
-	resp.Body.Close()
+	post("/add", addRequest{Vector: nv}, &ar)
+	post("/search", searchRequest{Vector: nv, K: 1, Probes: 2}, &sr)
 	fmt.Printf("add+search: id=%d found=%v\n", ar.ID, sr.IDs)
 	if len(sr.IDs) != 1 || sr.IDs[0] != ar.ID {
 		log.Fatalf("add demo self-check failed: added %d, found %v", ar.ID, sr.IDs)
 	}
+
+	// Delete it again: it must vanish from results immediately.
+	var dr deleteResponse
+	post("/delete", deleteRequest{ID: ar.ID}, &dr)
+	post("/search", searchRequest{Vector: nv, K: 3, Probes: 2}, &sr)
+	for _, id := range sr.IDs {
+		if id == ar.ID {
+			log.Fatalf("delete demo self-check failed: %d still served", ar.ID)
+		}
+	}
+	fmt.Printf("delete: id=%d now absent from %v\n", ar.ID, sr.IDs)
+
+	// Compact, then snapshot to disk (confined to -save-dir) and reload.
+	post("/compact", nil, nil)
+	var sv saveResponse
+	post("/save", saveRequest{Path: "index.usps"}, &sv)
+	fmt.Printf("save: %d bytes in %s\n", sv.Bytes, sv.Elapsed)
+	if want := filepath.Join(demoDir, "index.usps"); sv.Path != want {
+		log.Fatalf("save landed at %s, want %s", sv.Path, want)
+	}
+	reloaded, err := usp.LoadFile(sv.Path)
+	if err != nil {
+		log.Fatalf("reloading saved snapshot: %v", err)
+	}
+	if reloaded.Len() != ix.Len() {
+		log.Fatalf("snapshot Len %d != live %d", reloaded.Len(), ix.Len())
+	}
+	// Escaping paths must be rejected.
+	body, _ := json.Marshal(saveRequest{Path: "../escape.usps"})
+	r2, err := http.Post(base+"/save", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		log.Fatalf("escaping /save path not rejected: HTTP %d", r2.StatusCode)
+	}
+
 	fmt.Println("demo OK")
 	_ = srv.Close()
 }

@@ -25,7 +25,7 @@ func TestPipelineOnHighDimSparseData(t *testing.T) {
 	gt := knn.GroundTruth(base, queries, 10)
 
 	ix, err := Build(base.Rows(), Options{
-		Bins: 8, Epochs: 25, Hidden: []int{32}, Seed: 2, Eta: 7,
+		Bins: 8, Epochs: 25, Hidden: []int{32}, Seed: 2, Eta: Float(7),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestLearnedIndexBeatsRandomSubsets(t *testing.T) {
 	}, rng)
 	base, queries := dataset.SplitQueries(full.Dataset, 100, rng)
 	gt := knn.GroundTruth(base, queries, 10)
-	ix, err := Build(base.Rows(), Options{Bins: 12, Epochs: 30, Hidden: []int{32}, Seed: 6, Eta: 7})
+	ix, err := Build(base.Rows(), Options{Bins: 12, Epochs: 30, Hidden: []int{32}, Seed: 6, Eta: Float(7)})
 	if err != nil {
 		t.Fatal(err)
 	}

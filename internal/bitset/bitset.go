@@ -1,0 +1,139 @@
+// Package bitset provides the immutable tombstone bitmap of the index
+// lifecycle: an epoch-published Set is never mutated after it becomes
+// visible to readers, so lock-free queries can test membership while a
+// writer prepares the next epoch from a copy.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-universe bitmap over non-negative integers. A nil *Set is
+// the valid (and preferred) empty set: Has and Count are nil-safe, so hot
+// paths can branch on `s == nil` once and skip per-element checks entirely.
+//
+// Sets reachable from more than one goroutine must be treated as immutable;
+// derive updated sets with With.
+type Set struct {
+	words []uint64
+	count int
+}
+
+// Has reports whether i is in the set. Safe on a nil receiver and for any
+// i ≥ 0 (indices beyond the allocated universe are simply absent).
+func (s *Set) Has(i int) bool {
+	if s == nil {
+		return false
+	}
+	w := i >> 6
+	if w >= len(s.words) {
+		return false
+	}
+	return s.words[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits. Safe on a nil receiver.
+func (s *Set) Count() int {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// With returns a copy of s with bit i set (s itself is unchanged; a nil
+// receiver acts as the empty set). Setting an already-present bit returns a
+// copy equal to s.
+func (s *Set) With(i int) *Set {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	need := i>>6 + 1
+	n := &Set{}
+	if s != nil {
+		n.count = s.count
+		if len(s.words) > need {
+			need = len(s.words)
+		}
+		n.words = make([]uint64, need)
+		copy(n.words, s.words)
+	} else {
+		n.words = make([]uint64, need)
+	}
+	if n.words[i>>6]&(1<<(uint(i)&63)) == 0 {
+		n.words[i>>6] |= 1 << (uint(i) & 63)
+		n.count++
+	}
+	return n
+}
+
+// Union returns the set of bits present in either a or b, or nil when both
+// are empty. The result may share storage with an argument; treat all three
+// as immutable.
+func Union(a, b *Set) *Set {
+	if a == nil || a.count == 0 {
+		return b
+	}
+	if b == nil || b.count == 0 {
+		return a
+	}
+	long, short := a.words, b.words
+	if len(short) > len(long) {
+		long, short = short, long
+	}
+	words := make([]uint64, len(long))
+	copy(words, long)
+	count := 0
+	for w := range words {
+		if w < len(short) {
+			words[w] |= short[w]
+		}
+		count += bits.OnesCount64(words[w])
+	}
+	return &Set{words: words, count: count}
+}
+
+// Diff returns the set of bits present in a but not in b, or nil when that
+// difference is empty. Both arguments may be nil.
+func Diff(a, b *Set) *Set {
+	if a == nil || a.count == 0 {
+		return nil
+	}
+	if b == nil || b.count == 0 {
+		// Callers treat Sets as immutable, so sharing a is safe.
+		return a
+	}
+	words := make([]uint64, len(a.words))
+	count := 0
+	for w, av := range a.words {
+		v := av
+		if w < len(b.words) {
+			v &^= b.words[w]
+		}
+		words[w] = v
+		count += bits.OnesCount64(v)
+	}
+	if count == 0 {
+		return nil
+	}
+	return &Set{words: words, count: count}
+}
+
+// Words exposes the backing bitmap for serialization. The returned slice
+// must not be modified. Nil-safe.
+func (s *Set) Words() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.words
+}
+
+// FromWords reconstructs a Set from a serialized bitmap, recomputing the
+// cardinality. An empty bitmap yields nil.
+func FromWords(words []uint64) *Set {
+	count := 0
+	for _, w := range words {
+		count += bits.OnesCount64(w)
+	}
+	if count == 0 {
+		return nil
+	}
+	return &Set{words: words, count: count}
+}

@@ -1,0 +1,65 @@
+package bitset
+
+import "testing"
+
+func TestNilSetIsEmpty(t *testing.T) {
+	var s *Set
+	if s.Has(0) || s.Has(1000) {
+		t.Fatal("nil set has members")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("nil count %d", s.Count())
+	}
+	if s.Words() != nil {
+		t.Fatal("nil set has words")
+	}
+}
+
+func TestWithIsCopyOnWrite(t *testing.T) {
+	var s *Set
+	a := s.With(5)
+	b := a.With(130)
+	if !a.Has(5) || a.Has(130) {
+		t.Fatalf("a wrong: has5=%v has130=%v", a.Has(5), a.Has(130))
+	}
+	if !b.Has(5) || !b.Has(130) || b.Count() != 2 {
+		t.Fatalf("b wrong: %v %v count=%d", b.Has(5), b.Has(130), b.Count())
+	}
+	// Setting a present bit keeps the count stable and leaves the original
+	// untouched.
+	c := b.With(5)
+	if c.Count() != 2 || b.Count() != 2 {
+		t.Fatalf("idempotent set changed counts: %d %d", c.Count(), b.Count())
+	}
+	if s.Count() != 0 || a.Count() != 1 {
+		t.Fatal("ancestors mutated")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	var s *Set
+	a := s.With(1).With(64).With(200)
+	b := s.With(64)
+	d := Diff(a, b)
+	if d == nil || d.Count() != 2 || !d.Has(1) || !d.Has(200) || d.Has(64) {
+		t.Fatalf("diff wrong: %+v", d)
+	}
+	if Diff(b, a) != nil {
+		t.Fatal("subset diff should be nil")
+	}
+	if Diff(nil, a) != nil || Diff(a, nil) != a {
+		t.Fatal("nil-arg diffs wrong")
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	var s *Set
+	a := s.With(3).With(77).With(1023)
+	back := FromWords(a.Words())
+	if back.Count() != 3 || !back.Has(3) || !back.Has(77) || !back.Has(1023) {
+		t.Fatalf("round trip wrong: %+v", back)
+	}
+	if FromWords(nil) != nil || FromWords(make([]uint64, 4)) != nil {
+		t.Fatal("empty bitmaps must map to nil")
+	}
+}

@@ -98,37 +98,53 @@ const (
 // intermediates live in qs, so a warmed scratch makes the call allocation-
 // free beyond growth of dst.
 func (e *Ensemble) AppendCandidates(dst []int32, q []float32, mPrime int, mode ProbeMode, qs *QueryScratch) []int32 {
+	return e.AppendCandidatesExtra(dst, q, mPrime, mode, qs, len(e.Parts[0].Assign), nil)
+}
+
+// AppendCandidatesExtra is AppendCandidates for epoch-snapshotted indexes:
+// after each probed bin's CSR range it appends the bin's post-epoch inserts
+// from extra (nil when the epoch has none), and the union-probe dedup set is
+// sized to n — the epoch's total id universe — rather than to the CSR
+// tables, which lag behind pending inserts. Passing a non-nil extra through
+// the interface costs no allocation (the usp layer hands in a pointer).
+func (e *Ensemble) AppendCandidatesExtra(dst []int32, q []float32, mPrime int, mode ProbeMode, qs *QueryScratch, n int, extra ExtraBins) []int32 {
 	switch mode {
 	case BestConfidence:
 		// Algorithm 4: the single candidate set of the model whose top bin
-		// probability is highest. bestPart/qs.best start at a safe default:
+		// probability is highest. bestIdx/qs.best start at a safe default:
 		// if every comparison fails (all-NaN probabilities from an
 		// overflowing query) the empty distribution selects no bins and the
 		// candidate set is empty, matching the pre-scratch behavior.
-		bestPart := e.Parts[0]
+		bestIdx := 0
 		bestConf := float32(-1)
 		qs.best = qs.best[:0]
-		for _, p := range e.Parts {
+		for m, p := range e.Parts {
 			qs.probs = p.ProbabilitiesInto(qs.probs, q, &qs.Infer)
 			if c := qs.probs[vecmath.ArgMax(qs.probs)]; c > bestConf {
 				bestConf = c
-				bestPart = p
+				bestIdx = m
 				qs.best = append(qs.best[:0], qs.probs...)
 			}
 		}
 		qs.bins = vecmath.TopKIndicesInto(qs.bins, qs.best, mPrime)
 		for _, b := range qs.bins {
-			dst = bestPart.AppendBin(dst, b)
+			dst = e.Parts[bestIdx].AppendBin(dst, b)
+			if extra != nil {
+				dst = extra.AppendExtra(dst, bestIdx, b)
+			}
 		}
 		return dst
 	case UnionProbe:
-		gen := qs.beginSeen(len(e.Parts[0].Assign))
-		for _, p := range e.Parts {
+		gen := qs.beginSeen(n)
+		for m, p := range e.Parts {
 			qs.probs = p.ProbabilitiesInto(qs.probs, q, &qs.Infer)
 			qs.bins = vecmath.TopKIndicesInto(qs.bins, qs.probs, mPrime)
 			for _, b := range qs.bins {
 				mark := len(dst)
 				dst = p.AppendBin(dst, b)
+				if extra != nil {
+					dst = extra.AppendExtra(dst, m, b)
+				}
 				// Compact in place, keeping first occurrences only.
 				w := mark
 				for _, id := range dst[mark:] {

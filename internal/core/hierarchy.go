@@ -192,10 +192,21 @@ func (h *Hierarchy) QueryBins(q []float32, mPrime int) []int {
 // each bin contributes one contiguous copy. With a warmed scratch the call
 // allocates nothing beyond growth of dst.
 func (h *Hierarchy) AppendCandidates(dst []int32, q []float32, mPrime int, qs *QueryScratch) []int32 {
+	return h.AppendCandidatesExtra(dst, q, mPrime, qs, nil)
+}
+
+// AppendCandidatesExtra is AppendCandidates for epoch-snapshotted indexes:
+// after each probed leaf's frozen list it appends the leaf's post-epoch
+// inserts from extra (nil when the epoch has none). The hierarchy is a
+// single router, so extra is addressed with member 0 and bin = global leaf.
+func (h *Hierarchy) AppendCandidatesExtra(dst []int32, q []float32, mPrime int, qs *QueryScratch, extra ExtraBins) []int32 {
 	qs.leaf = h.LeafProbabilitiesInto(qs.leaf, q, qs)
 	qs.bins = vecmath.TopKIndicesInto(qs.bins, qs.leaf, mPrime)
 	for _, b := range qs.bins {
 		dst = append(dst, h.Bins[b]...)
+		if extra != nil {
+			dst = extra.AppendExtra(dst, 0, b)
+		}
 	}
 	return dst
 }

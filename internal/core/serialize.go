@@ -27,17 +27,65 @@ type partSpec struct {
 
 // SaveEnsemble writes a trained ensemble (models and lookup tables) to w.
 func SaveEnsemble(w io.Writer, e *Ensemble) error {
+	return SaveEnsembleWith(w, e, len(e.Parts[0].Assign), nil)
+}
+
+// SaveEnsembleWith is SaveEnsemble for epoch-snapshotted indexes: each bin
+// list is written as its CSR range followed by the bin's post-epoch inserts
+// from extra (nil when none are pending) — the same merge order the live
+// read path and the compactor use — and Assign is extended to n entries with
+// the extra ids' routed bins, so a reloaded index serves results
+// bit-identical to the live one without a compaction first.
+func SaveEnsembleWith(w io.Writer, e *Ensemble, n int, extra ExtraBins) error {
 	var spec ensembleSpec
-	for _, p := range e.Parts {
+	for m, p := range e.Parts {
 		var buf bytes.Buffer
 		if err := p.Model.Save(&buf); err != nil {
 			return fmt.Errorf("core: serializing model: %w", err)
 		}
 		spec.Parts = append(spec.Parts, partSpec{
-			Model: buf.Bytes(), M: p.M, Assign: p.Assign, Bins: p.BinLists(),
+			Model: buf.Bytes(), M: p.M,
+			Assign: mergedAssign(p.Assign, n, m, p.M, extra),
+			Bins:   mergedBinLists(p, n, m, extra),
 		})
 	}
 	return gob.NewEncoder(w).Encode(spec)
+}
+
+// mergedBinLists materializes per-bin id lists as CSR range + extra inserts.
+func mergedBinLists(p *Partitioner, n, member int, extra ExtraBins) [][]int32 {
+	out := make([][]int32, p.M)
+	for b := 0; b < p.M; b++ {
+		list := p.AppendBin(make([]int32, 0, p.BinLen(b)), b)
+		if extra != nil {
+			list = extra.AppendExtra(list, member, b)
+		}
+		out[b] = list
+	}
+	return out
+}
+
+// mergedAssign extends assign to n entries, scattering the extra ids' routed
+// bins; ids with no assignment (possible only transiently) are marked -1.
+func mergedAssign(assign []int32, n, member, m int, extra ExtraBins) []int32 {
+	if extra == nil && len(assign) == n {
+		return assign
+	}
+	out := make([]int32, n)
+	copy(out, assign)
+	for i := len(assign); i < n; i++ {
+		out[i] = -1
+	}
+	if extra != nil {
+		var scratch []int32
+		for b := 0; b < m; b++ {
+			scratch = extra.AppendExtra(scratch[:0], member, b)
+			for _, id := range scratch {
+				out[id] = int32(b)
+			}
+		}
+	}
+	return out
 }
 
 // Index files written by cmd/usptrain start with a magic line identifying
@@ -48,8 +96,11 @@ const (
 )
 
 // SaveIndexFile writes either an ensemble or a hierarchy (exactly one must
-// be non-nil) to path with a kind header for LoadIndexFile.
-func SaveIndexFile(path string, ens *Ensemble, hier *Hierarchy) error {
+// be non-nil) to path with a kind header for LoadIndexFile. The file is
+// closed exactly once; a close error (the write path for buffered data on
+// many filesystems) surfaces through the returned error when no earlier
+// write failed.
+func SaveIndexFile(path string, ens *Ensemble, hier *Hierarchy) (err error) {
 	if (ens == nil) == (hier == nil) {
 		return fmt.Errorf("core: SaveIndexFile needs exactly one of ensemble/hierarchy")
 	}
@@ -57,23 +108,21 @@ func SaveIndexFile(path string, ens *Ensemble, hier *Hierarchy) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if ens != nil {
 		if _, err := io.WriteString(f, magicEnsemble); err != nil {
 			return err
 		}
-		if err := SaveEnsemble(f, ens); err != nil {
-			return err
-		}
-	} else {
-		if _, err := io.WriteString(f, magicHierarchy); err != nil {
-			return err
-		}
-		if err := SaveHierarchy(f, hier); err != nil {
-			return err
-		}
+		return SaveEnsemble(f, ens)
 	}
-	return f.Close()
+	if _, err := io.WriteString(f, magicHierarchy); err != nil {
+		return err
+	}
+	return SaveHierarchy(f, hier)
 }
 
 // LoadIndexFile reads an index written by SaveIndexFile; exactly one of the
@@ -122,8 +171,23 @@ type hnodeSpec struct {
 
 // SaveHierarchy writes a trained hierarchy to w.
 func SaveHierarchy(w io.Writer, h *Hierarchy) error {
+	return SaveHierarchyWith(w, h, nil)
+}
+
+// SaveHierarchyWith is SaveHierarchy for epoch-snapshotted indexes: each
+// global leaf list is written as its frozen range followed by the leaf's
+// post-epoch inserts from extra (nil when none are pending), matching the
+// live read order so reloaded indexes serve bit-identical results.
+func SaveHierarchyWith(w io.Writer, h *Hierarchy, extra ExtraBins) error {
+	bins := h.Bins
+	if extra != nil {
+		bins = make([][]int32, h.NumBins)
+		for g := range bins {
+			bins[g] = extra.AppendExtra(append([]int32(nil), h.Bins[g]...), 0, g)
+		}
+	}
 	spec := hierSpec{
-		Levels: h.Levels, NumBins: h.NumBins, Bins: h.Bins, ProbeTemp: h.ProbeTemp,
+		Levels: h.Levels, NumBins: h.NumBins, Bins: bins, ProbeTemp: h.ProbeTemp,
 	}
 	var snap func(n *hnode) (hnodeSpec, error)
 	snap = func(n *hnode) (hnodeSpec, error) {

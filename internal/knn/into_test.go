@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/vecmath"
 )
@@ -33,7 +34,7 @@ func TestSearchSubsetIntoMatchesSearchSubset(t *testing.T) {
 			}
 			k := 1 + rng.Intn(12)
 			want := SearchSubset(base, subset, q, k)
-			dst = SearchSubsetInto(dst[:0], base, subset32, q, k, tk)
+			dst = SearchSubsetInto(dst[:0], base, subset32, q, k, tk, nil)
 			if len(want) != len(dst) {
 				t.Fatalf("norms=%v trial %d: %d vs %d results", withNorms, trial, len(dst), len(want))
 			}
@@ -65,9 +66,57 @@ func TestSearchSubsetIntoSelfQueryIsExactZero(t *testing.T) {
 		subset[i] = int32(i)
 	}
 	for qi := 0; qi < base.N; qi += 7 {
-		ns := SearchSubsetInto(nil, base, subset, base.Row(qi), 1, tk)
+		ns := SearchSubsetInto(nil, base, subset, base.Row(qi), 1, tk, nil)
 		if ns[0].Index != qi || ns[0].Dist != 0 {
 			t.Fatalf("self query %d returned %+v (fused self-distance must be exactly 0)", qi, ns[0])
+		}
+	}
+}
+
+// TestSearchSubsetIntoSkipsTombstones checks the epoch-lifecycle contract:
+// ids in the skip set never appear in results, the survivors match a scan of
+// the manually filtered subset, and both kernel paths (fused-norm and
+// direct) honor the filter identically.
+func TestSearchSubsetIntoSkipsTombstones(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	base := dataset.Uniform(300, 8, rng)
+	for _, withNorms := range []bool{false, true} {
+		if withNorms {
+			base.EnsureSqNorms(true)
+		} else {
+			base.SqNorms = nil
+		}
+		tk := vecmath.NewTopK(1)
+		var dst []vecmath.Neighbor
+		for trial := 0; trial < 30; trial++ {
+			var skip *bitset.Set
+			kept := make([]int32, 0, base.N)
+			for i := 0; i < base.N; i++ {
+				if rng.Float64() < 0.3 {
+					skip = skip.With(i)
+				} else {
+					kept = append(kept, int32(i))
+				}
+			}
+			all := make([]int32, base.N)
+			for i := range all {
+				all[i] = int32(i)
+			}
+			q := base.Row(rng.Intn(base.N))
+			dst = SearchSubsetInto(dst[:0], base, all, q, 10, tk, skip)
+			want := SearchSubsetInto(nil, base, kept, q, 10, tk, nil)
+			if len(dst) != len(want) {
+				t.Fatalf("norms=%v trial %d: %d vs %d results", withNorms, trial, len(dst), len(want))
+			}
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("norms=%v trial %d: result[%d] %+v, want %+v",
+						withNorms, trial, i, dst[i], want[i])
+				}
+				if skip.Has(dst[i].Index) {
+					t.Fatalf("tombstoned id %d returned", dst[i].Index)
+				}
+			}
 		}
 	}
 }
@@ -83,9 +132,9 @@ func TestSearchSubsetIntoAllocs(t *testing.T) {
 	q := base.Row(0)
 	tk := vecmath.NewTopK(10)
 	dst := make([]vecmath.Neighbor, 0, 10)
-	dst = SearchSubsetInto(dst[:0], base, subset, q, 10, tk) // warm up
+	dst = SearchSubsetInto(dst[:0], base, subset, q, 10, tk, nil) // warm up
 	allocs := testing.AllocsPerRun(100, func() {
-		dst = SearchSubsetInto(dst[:0], base, subset, q, 10, tk)
+		dst = SearchSubsetInto(dst[:0], base, subset, q, 10, tk, nil)
 	})
 	if allocs != 0 {
 		t.Fatalf("SearchSubsetInto allocates %v per run", allocs)

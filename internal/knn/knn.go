@@ -7,6 +7,7 @@ package knn
 import (
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/par"
 	"repro/internal/vecmath"
@@ -41,15 +42,35 @@ func SearchSubset(base *dataset.Dataset, subset []int, query []float32, k int) [
 // When base carries a squared-norm cache (dataset.EnsureSqNorms), each row
 // costs one fused dot product (‖x‖² − 2q·x + ‖q‖²) instead of a
 // subtract-square pass; otherwise it falls back to the direct kernel.
-// Steady-state the call allocates nothing beyond growth of dst.
-func SearchSubsetInto(dst []vecmath.Neighbor, base *dataset.Dataset, subset []int32, query []float32, k int, tk *vecmath.TopK) []vecmath.Neighbor {
+// Ids present in skip (the epoch's tombstone set; nil when no deletes are
+// pending) are excluded from the result — candidate gathering stays
+// branch-free and the filter costs one bit test per candidate, only on
+// indexes that actually carry tombstones. Steady-state the call allocates
+// nothing beyond growth of dst.
+func SearchSubsetInto(dst []vecmath.Neighbor, base *dataset.Dataset, subset []int32, query []float32, k int, tk *vecmath.TopK, skip *bitset.Set) []vecmath.Neighbor {
 	tk.SetK(k)
-	if base.SqNorms != nil {
+	switch {
+	case base.SqNorms != nil && skip.Count() > 0:
+		qNorm := vecmath.Dot(query, query)
+		for _, i := range subset {
+			if skip.Has(int(i)) {
+				continue
+			}
+			tk.Push(int(i), vecmath.SquaredL2Fused(query, base.Row(int(i)), qNorm, base.SqNorms[i]))
+		}
+	case base.SqNorms != nil:
 		qNorm := vecmath.Dot(query, query)
 		for _, i := range subset {
 			tk.Push(int(i), vecmath.SquaredL2Fused(query, base.Row(int(i)), qNorm, base.SqNorms[i]))
 		}
-	} else {
+	case skip.Count() > 0:
+		for _, i := range subset {
+			if skip.Has(int(i)) {
+				continue
+			}
+			tk.Push(int(i), vecmath.SquaredL2(query, base.Row(int(i))))
+		}
+	default:
 		for _, i := range subset {
 			tk.Push(int(i), vecmath.SquaredL2(query, base.Row(int(i))))
 		}

@@ -1,0 +1,354 @@
+package usp
+
+// The index lifecycle: epoch-snapshotted reads, sharded mutation staging,
+// tombstoned deletes, and background compaction.
+//
+// Every query resolves one *epoch — an immutable bundle of (dataset view,
+// lookup tables, pending-insert spill lists, tombstone bitmap) — via a
+// single atomic pointer load, and touches nothing else. Writers construct a
+// successor epoch that shares all unchanged storage with its predecessor
+// (copy-on-write at the slice-header level) and publish it with an atomic
+// store; the store's release ordering makes every byte the writer staged
+// visible to readers that load the new epoch, while readers still holding
+// an older epoch keep a consistent historical view. That is the whole
+// synchronization story for the read path: no RWMutex, no reader-side
+// atomics beyond the one load, full snapshot isolation.
+//
+// Mutation state is sharded: pending inserts land in the spill slot table
+// of shard id%S, so publishing after Add copies only that shard's slot
+// headers (the other S−1 shards are shared structurally) and the compactor
+// can treat shards as independent merge inputs. The dataset itself grows
+// in place — epochs hold length-capped views, so rows appended after an
+// epoch was published are invisible to it even when the backing array is
+// shared.
+//
+// Compaction folds the spill lists and tombstones of a snapshot back into
+// contiguous CSR tables. The merge runs against the immutable snapshot with
+// no locks held — it is pure id-list surgery and never touches vector
+// data — and only the final swap (carrying over mutations that raced the
+// merge) briefly takes the writer lock.
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// epoch is one immutable, atomically published snapshot of the index. All
+// fields, and everything reachable from them, are frozen: readers use an
+// epoch without synchronization for as long as they hold it.
+type epoch struct {
+	seq  uint64
+	data *dataset.Dataset // length-capped view of the row storage
+	ens  *core.Ensemble   // exactly one of ens/hier is non-nil
+	hier *core.Hierarchy
+	// spill holds ids routed in by Add since the tables above were built
+	// (nil when none are pending); probes scan it after the CSR ranges.
+	spill *spillSet
+	// tombs marks ids deleted since the last compaction (nil when none).
+	// Candidate scans filter against it; compaction folds it away.
+	tombs *bitset.Set
+	// deadSet accumulates every id ever removed from the lookup tables by
+	// compaction (their dataset rows remain so ids stay stable). Queries
+	// never consult it — dead ids are in no bin list — but Delete uses it
+	// to reject re-deletes, and snapshots persist it so a loaded index
+	// keeps rejecting them too.
+	deadSet *bitset.Set
+}
+
+// dead counts rows removed from the lookup tables by past compactions.
+func (ep *epoch) dead() int { return ep.deadSet.Count() }
+
+// spillSet is an epoch's view of the per-shard pending-insert state. It
+// implements core.ExtraBins: slot (member, bin) of every shard is scanned
+// after the bin's CSR range, in shard order — the same order compaction
+// and serialization merge in, which keeps all three views bit-identical.
+type spillSet struct {
+	perMember int
+	shards    []spillShard
+	total     int // pending inserts (each id occupies one slot per member)
+}
+
+// spillShard is one shard's slot table: slots[member*perMember+bin] lists
+// the ids this shard staged for that bin, in insertion order.
+type spillShard struct {
+	slots [][]int32
+}
+
+// AppendExtra implements core.ExtraBins.
+func (sp *spillSet) AppendExtra(dst []int32, member, bin int) []int32 {
+	slot := member*sp.perMember + bin
+	for i := range sp.shards {
+		dst = append(dst, sp.shards[i].slots[slot]...)
+	}
+	return dst
+}
+
+// extra returns the epoch's spill as a core.ExtraBins, or a nil interface
+// when nothing is pending (a typed-nil interface would defeat the == nil
+// fast path in core).
+func (ep *epoch) extra() core.ExtraBins {
+	if ep.spill == nil {
+		return nil
+	}
+	return ep.spill
+}
+
+// newIndex assembles a servable Index around trained structures and
+// publishes its first epoch. seq/tombs/deadSet restore a snapshot's
+// lifecycle state; Build passes 0/nil/nil.
+func newIndex(ds *dataset.Dataset, ens *core.Ensemble, hier *core.Hierarchy,
+	opt Options, stats BuildStats, seq uint64, tombs, deadSet *bitset.Set) *Index {
+
+	ix := &Index{dim: ds.Dim, opt: opt, stats: stats, data: ds}
+	if hier != nil {
+		ix.members, ix.slotsPerMember = 1, hier.NumBins
+	} else {
+		ix.members, ix.slotsPerMember = ens.Size(), ens.Parts[0].M
+	}
+	ix.shards = make([]spillShard, opt.Shards)
+	for i := range ix.shards {
+		ix.shards[i].slots = make([][]int32, ix.members*ix.slotsPerMember)
+	}
+	ix.live.Store(&epoch{
+		seq: seq, data: ix.frozenView(), ens: ens, hier: hier,
+		tombs: tombs, deadSet: deadSet,
+	})
+	return ix
+}
+
+// frozenView returns an immutable snapshot header over the current rows.
+// The backing arrays are shared with the growing dataset; the view's
+// length caps (and capacity caps, so no append can alias through it) make
+// rows added later invisible. Callers must hold wmu or be the only writer.
+func (ix *Index) frozenView() *dataset.Dataset {
+	n := ix.data.N
+	return &dataset.Dataset{
+		N: n, Dim: ix.dim,
+		Data:    ix.data.Data[: n*ix.dim : n*ix.dim],
+		SqNorms: ix.data.SqNorms[:n:n],
+	}
+}
+
+// spillSnapshot freezes the current per-shard spill state for publication.
+// Callers must hold wmu.
+func (ix *Index) spillSnapshot(total int) *spillSet {
+	if total == 0 {
+		return nil
+	}
+	shards := make([]spillShard, len(ix.shards))
+	copy(shards, ix.shards)
+	return &spillSet{perMember: ix.slotsPerMember, shards: shards, total: total}
+}
+
+// Add inserts a new vector into the index without retraining: the trained
+// model routes it to its most probable bin(s), the same decision rule
+// queries use, so it is immediately findable — the publishing store makes
+// it visible to every query that starts afterwards. Returns the new
+// vector's id. Safe to call concurrently with queries, Delete, and
+// compaction. Heavy drift from the training distribution degrades
+// partition quality; rebuild periodically under churn.
+func (ix *Index) Add(vec []float32) (int, error) {
+	if len(vec) != ix.dim {
+		return 0, fmt.Errorf("usp: vector dim %d, index dim %d", len(vec), ix.dim)
+	}
+	// Route before taking the writer lock: the trained models are immutable,
+	// so the forward passes need no exclusivity. Only the appends (dataset
+	// row, spill slots) and the epoch publication run under the lock,
+	// keeping concurrent mutators unblocked during inference. A pooled
+	// Searcher's scratch backs the forward passes, so a sustained Add
+	// stream allocates only the appended storage and the epoch header.
+	s := ix.getSearcher()
+	defer ix.putSearcher(s)
+	prev := ix.live.Load()
+	var leaf int
+	if prev.hier != nil {
+		leaf = prev.hier.RouteLeafWith(&s.qs, vec)
+	} else {
+		s.routeBins = prev.ens.RouteBinsWith(&s.qs, vec, s.routeBins[:0])
+	}
+
+	ix.wmu.Lock()
+	prev = ix.live.Load() // re-resolve under the lock: models are shared anyway
+	id := ix.data.N
+	ix.data.Append(vec)
+
+	// Copy-on-write the touched shard's slot table; published epochs keep
+	// the old headers. Appending to an inner slice is safe even when it
+	// grows in place: older epochs hold shorter length caps.
+	sh := id % len(ix.shards)
+	slots := make([][]int32, len(ix.shards[sh].slots))
+	copy(slots, ix.shards[sh].slots)
+	if prev.hier != nil {
+		slots[leaf] = append(slots[leaf], int32(id))
+	} else {
+		for m, b := range s.routeBins {
+			slot := m*ix.slotsPerMember + b
+			slots[slot] = append(slots[slot], int32(id))
+		}
+	}
+	ix.shards[sh] = spillShard{slots: slots}
+
+	total := 0
+	if prev.spill != nil {
+		total = prev.spill.total
+	}
+	ix.live.Store(&epoch{
+		seq: prev.seq + 1, data: ix.frozenView(), ens: prev.ens, hier: prev.hier,
+		spill: ix.spillSnapshot(total + 1), tombs: prev.tombs, deadSet: prev.deadSet,
+	})
+	ix.pendingOps.Add(1)
+	ix.wmu.Unlock()
+
+	ix.maybeCompact()
+	return id, nil
+}
+
+// Delete tombstones the vector with the given id: it stops appearing in
+// any query result immediately (queries that already resolved an older
+// epoch still see it — snapshot isolation), and the next compaction
+// removes it from the lookup tables. The dataset row is retained so ids
+// stay stable. Deleting an unknown or already-deleted id is an error.
+// Safe to call concurrently with queries, Add, and compaction.
+func (ix *Index) Delete(id int) error {
+	ix.wmu.Lock()
+	if id < 0 || id >= ix.data.N {
+		ix.wmu.Unlock()
+		return fmt.Errorf("usp: delete id %d out of range [0, %d)", id, ix.data.N)
+	}
+	prev := ix.live.Load()
+	if prev.tombs.Has(id) || prev.deadSet.Has(id) {
+		ix.wmu.Unlock()
+		return fmt.Errorf("usp: id %d already deleted", id)
+	}
+	ix.live.Store(&epoch{
+		seq: prev.seq + 1, data: prev.data, ens: prev.ens, hier: prev.hier,
+		spill: prev.spill, tombs: prev.tombs.With(id), deadSet: prev.deadSet,
+	})
+	ix.pendingOps.Add(1)
+	ix.wmu.Unlock()
+
+	ix.maybeCompact()
+	return nil
+}
+
+// Compact synchronously folds pending inserts and tombstones into fresh
+// contiguous CSR tables and publishes the compacted epoch. Queries and
+// mutations proceed concurrently throughout: the merge works on an
+// immutable snapshot with no locks held, and only the final bookkeeping
+// (carrying over mutations that raced the merge) runs under the writer
+// lock. Compaction never moves surviving ids — results before and after
+// are identical. It is a no-op when nothing is pending.
+func (ix *Index) Compact() {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+	ix.compactOnce()
+}
+
+// compactOnce performs one compaction cycle. Callers must hold compactMu.
+func (ix *Index) compactOnce() {
+	snap := ix.live.Load()
+	if snap.spill == nil && snap.tombs.Count() == 0 {
+		return
+	}
+
+	// Heavy phase, lock-free: merge the snapshot's spill and tombstones
+	// into fresh tables. The snapshot is immutable, so concurrent Add and
+	// Delete cannot disturb the merge; their effects are carried over in
+	// the swap phase below.
+	var mergedEns *core.Ensemble
+	var mergedHier *core.Hierarchy
+	if snap.hier != nil {
+		mergedHier = snap.hier.Rebuild(snap.extra(), snap.tombs)
+	} else {
+		mergedEns = snap.ens.Rebuild(snap.data.N, snap.extra(), snap.tombs)
+	}
+
+	ix.wmu.Lock()
+	cur := ix.live.Load()
+	// Spill entries staged after the snapshot stay pending: slice each
+	// slot past the snapshot's length. The remainders share backing arrays
+	// with the live slots, which is safe — writers only ever append past
+	// every published length cap.
+	shards := make([]spillShard, len(ix.shards))
+	for si := range ix.shards {
+		curSlots := ix.shards[si].slots
+		slots := make([][]int32, len(curSlots))
+		for slot := range curSlots {
+			snapLen := 0
+			if snap.spill != nil {
+				snapLen = len(snap.spill.shards[si].slots[slot])
+			}
+			if rem := curSlots[slot][snapLen:]; len(rem) > 0 {
+				slots[slot] = rem
+			}
+		}
+		shards[si] = spillShard{slots: slots}
+	}
+	ix.shards = shards
+	remAdds := cur.data.N - snap.data.N // every id ≥ snap rows arrived mid-merge
+	remTombs := bitset.Diff(cur.tombs, snap.tombs)
+	ix.pendingOps.Store(int64(remAdds + remTombs.Count()))
+	ix.live.Store(&epoch{
+		seq: cur.seq + 1, data: ix.frozenView(), ens: mergedEns, hier: mergedHier,
+		spill: ix.spillSnapshot(remAdds), tombs: remTombs,
+		deadSet: bitset.Union(cur.deadSet, snap.tombs),
+	})
+	ix.wmu.Unlock()
+}
+
+// maybeCompact spawns a background compaction when enough mutations are
+// pending and none is already queued.
+func (ix *Index) maybeCompact() {
+	if ix.opt.CompactAfter < 0 || ix.pendingOps.Load() < int64(ix.opt.CompactAfter) {
+		return
+	}
+	if !ix.compactQueued.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		ix.compactMu.Lock()
+		defer ix.compactMu.Unlock()
+		defer ix.compactQueued.Store(false)
+		ix.compactOnce()
+	}()
+}
+
+// LifecycleStats reports the state of the mutation lifecycle at one epoch.
+type LifecycleStats struct {
+	// Epoch is the published epoch's sequence number (one publication per
+	// Add, Delete, or compaction).
+	Epoch uint64 `json:"epoch"`
+	// Rows is the number of dataset rows, including deleted ones (ids are
+	// stable, so rows are never renumbered).
+	Rows int `json:"rows"`
+	// Live is Rows minus every deletion — the Len of the index.
+	Live int `json:"live"`
+	// PendingInserts counts ids still served from spill lists (not yet
+	// folded into the CSR tables).
+	PendingInserts int `json:"pending_inserts"`
+	// Tombstones counts deletions not yet folded away by compaction.
+	Tombstones int `json:"tombstones"`
+	// Dead counts rows removed from the lookup tables by past compactions.
+	Dead int `json:"dead"`
+}
+
+// Lifecycle returns a consistent snapshot of the lifecycle counters.
+// Lock-free.
+func (ix *Index) Lifecycle() LifecycleStats {
+	ep := ix.live.Load()
+	pending := 0
+	if ep.spill != nil {
+		pending = ep.spill.total
+	}
+	return LifecycleStats{
+		Epoch:          ep.seq,
+		Rows:           ep.data.N,
+		Live:           ep.data.N - ep.dead() - ep.tombs.Count(),
+		PendingInserts: pending,
+		Tombstones:     ep.tombs.Count(),
+		Dead:           ep.dead(),
+	}
+}

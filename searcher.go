@@ -17,7 +17,9 @@ import (
 // steady-state beyond the returned result slice. A Searcher is NOT safe for
 // concurrent use — give each goroutine its own (NewSearcher is cheap, and the
 // Index keeps an internal pool for the convenience entry points). Concurrent
-// Searchers over one Index are safe, including concurrently with Add.
+// Searchers over one Index are safe, including concurrently with Add,
+// Delete, and compaction: every query resolves the atomically published
+// epoch once and runs lock-free against that immutable snapshot.
 type Searcher struct {
 	ix    *Index
 	qs    core.QueryScratch
@@ -35,18 +37,21 @@ func (ix *Index) NewSearcher() *Searcher {
 	return &Searcher{ix: ix, tk: vecmath.NewTopK(1)}
 }
 
-// gatherCandidates fills s.cands for q. Callers must hold ix.mu (read side).
-func (s *Searcher) gatherCandidates(q []float32, probes int, union bool) {
+// gatherCandidates fills s.cands for q against the given epoch: per probed
+// bin, the frozen CSR range followed by the epoch's spill entries. The
+// candidate list may still contain tombstoned ids — the scan filters them,
+// so gathering stays branch-free.
+func (s *Searcher) gatherCandidates(ep *epoch, q []float32, probes int, union bool) {
 	s.cands = s.cands[:0]
-	if s.ix.hier != nil {
-		s.cands = s.ix.hier.AppendCandidates(s.cands, q, probes, &s.qs)
+	if ep.hier != nil {
+		s.cands = ep.hier.AppendCandidatesExtra(s.cands, q, probes, &s.qs, ep.extra())
 		return
 	}
 	mode := core.BestConfidence
 	if union {
 		mode = core.UnionProbe
 	}
-	s.cands = s.ix.ens.AppendCandidates(s.cands, q, probes, mode, &s.qs)
+	s.cands = ep.ens.AppendCandidatesExtra(s.cands, q, probes, mode, &s.qs, ep.data.N, ep.extra())
 }
 
 // Search returns the k approximate nearest neighbors of q. Steady-state it
@@ -57,23 +62,24 @@ func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]Result, erro
 }
 
 // SearchInto appends the k approximate nearest neighbors of q to dst and
-// returns it. With a recycled dst it allocates nothing steady-state.
+// returns it. With a recycled dst it allocates nothing steady-state. The
+// query runs entirely against one epoch snapshot: it never blocks on
+// writers and observes either all or none of any concurrent mutation.
 func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOptions) ([]Result, error) {
 	if k <= 0 {
 		return nil, errors.New("usp: k must be positive")
 	}
 	ix := s.ix
-	if len(q) != ix.data.Dim {
-		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.data.Dim)
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.dim)
 	}
 	probes := opt.Probes
 	if probes <= 0 {
 		probes = 1
 	}
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	s.gatherCandidates(q, probes, opt.UnionEnsemble)
-	s.nbrs = knn.SearchSubsetInto(s.nbrs[:0], ix.data, s.cands, q, k, s.tk)
+	ep := ix.live.Load()
+	s.gatherCandidates(ep, q, probes, opt.UnionEnsemble)
+	s.nbrs = knn.SearchSubsetInto(s.nbrs[:0], ep.data, s.cands, q, k, s.tk, ep.tombs)
 	for _, n := range s.nbrs {
 		dst = append(dst, Result{ID: n.Index, Distance: n.Dist})
 	}
@@ -82,7 +88,8 @@ func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOption
 
 // Scanned reports the size of the candidate set |C(q)| of the most recent
 // query — the computational-cost metric of the paper's figures — without
-// re-deriving it.
+// re-deriving it. Tombstoned candidates count: they were gathered and
+// skipped by the scan, which is exactly the work performed.
 func (s *Searcher) Scanned() int { return len(s.cands) }
 
 // getSearcher takes a pooled Searcher (the pool's zero value works: misses
@@ -99,14 +106,15 @@ func (ix *Index) putSearcher(s *Searcher) { ix.searchers.Put(s) }
 // SearchBatch answers many queries in one call, fanning the batch out over
 // the worker pool with one pooled Searcher per worker. Results align with
 // queries by position and agree exactly with looped single Search calls.
-// It is safe to call concurrently with Search and Add.
+// It is safe to call concurrently with Search, Add, Delete, and compaction;
+// each query in the batch resolves its own epoch snapshot.
 func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions) ([][]Result, error) {
 	if k <= 0 {
 		return nil, errors.New("usp: k must be positive")
 	}
 	for i, q := range queries {
-		if len(q) != ix.data.Dim {
-			return nil, fmt.Errorf("usp: query %d dim %d, index dim %d", i, len(q), ix.data.Dim)
+		if len(q) != ix.dim {
+			return nil, fmt.Errorf("usp: query %d dim %d, index dim %d", i, len(q), ix.dim)
 		}
 	}
 	out := make([][]Result, len(queries))

@@ -1,0 +1,446 @@
+package usp
+
+// The versioned full-index snapshot format. Unlike the legacy model-only
+// files of internal/core (which persist models and bin tables but not the
+// vectors, so a loaded index cannot serve queries), a snapshot is fully
+// self-contained: one file holds everything needed to serve — options,
+// models, merged lookup tables, dataset rows, the squared-norm cache, and
+// tombstones — and a loaded index returns bit-identical results to the
+// live one it was saved from, including results involving vectors that
+// were still in spill lists or already tombstoned at save time.
+//
+// Layout (all integers little-endian):
+//
+//	[8]  magic "USPSNAP1"
+//	[4]  format version (currently 1)
+//	[4]  section count
+//	per section: [4] id  [4] reserved  [8] offset  [8] length
+//	section payloads, in ascending offset order
+//
+// Sections: options (gob), model (kind byte + the core gob payload with
+// spill lists merged in), dataset (row count, dim, raw float32 rows),
+// sqnorms (raw float32 cache), tombstones and the compacted dead set
+// (bitmap words). Readers skip unknown section ids, so the format can
+// grow without a version bump; offsets are explicit so future writers
+// may reorder or align sections.
+//
+// Save streams: small sections are staged in memory, but the dataset — the
+// dominant payload — is written straight from the epoch's row storage
+// through a buffered writer, never copied whole. Save operates on one
+// published epoch, so it is safe (and consistent) concurrently with
+// queries, Add, Delete, and compaction.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+const (
+	snapMagic   = "USPSNAP1"
+	snapVersion = 1
+
+	secOptions    = 1
+	secModel      = 2
+	secDataset    = 3
+	secSqNorms    = 4
+	secTombstones = 5
+	secDeadSet    = 6
+
+	modelKindEnsemble  = 1
+	modelKindHierarchy = 2
+
+	snapHeaderFixed  = 16 // magic + version + count
+	snapSectionEntry = 24 // id + reserved + offset + length
+)
+
+// snapOptions is the gob payload of the options section: the resolved
+// build options plus the lifecycle state a servable index needs restored.
+type snapOptions struct {
+	Bins, KPrime, Epochs, BatchSize, Ensemble int
+	Eta, Dropout                              float64
+	Hidden                                    []int
+	Logistic                                  bool
+	Hierarchy                                 []int
+	Seed                                      int64
+	Shards, CompactAfter                      int
+	Stats                                     BuildStats
+	Dead                                      int
+	Epoch                                     uint64
+}
+
+// Save writes a self-contained snapshot of the index to w. It snapshots
+// one published epoch, so concurrent mutations neither block nor tear it.
+func (ix *Index) Save(w io.Writer) error {
+	ep := ix.live.Load()
+	o := ix.opt
+
+	var optBuf bytes.Buffer
+	so := snapOptions{
+		Bins: o.Bins, KPrime: o.KPrime, Epochs: o.Epochs, BatchSize: o.BatchSize,
+		Ensemble: o.Ensemble, Eta: *o.Eta, Dropout: *o.Dropout, Hidden: o.Hidden,
+		Logistic: o.Logistic, Hierarchy: o.Hierarchy, Seed: o.Seed,
+		Shards: o.Shards, CompactAfter: o.CompactAfter,
+		Stats: ix.stats, Dead: ep.dead(), Epoch: ep.seq,
+	}
+	if err := gob.NewEncoder(&optBuf).Encode(so); err != nil {
+		return fmt.Errorf("usp: encoding options: %w", err)
+	}
+
+	// Models with the epoch's spill lists merged into the bin tables: the
+	// loaded index starts with clean CSR state yet serves candidates in
+	// exactly the order the live spill-aware read path does.
+	var modelBuf bytes.Buffer
+	if ep.hier != nil {
+		modelBuf.WriteByte(modelKindHierarchy)
+		if err := core.SaveHierarchyWith(&modelBuf, ep.hier, ep.extra()); err != nil {
+			return err
+		}
+	} else {
+		modelBuf.WriteByte(modelKindEnsemble)
+		if err := core.SaveEnsembleWith(&modelBuf, ep.ens, ep.data.N, ep.extra()); err != nil {
+			return err
+		}
+	}
+
+	tombBuf := encodeBitmap(ep.tombs)
+	deadBuf := encodeBitmap(ep.deadSet)
+
+	var u8 [8]byte
+	n := ep.data.N
+	sections := []struct {
+		id  uint32
+		len uint64
+	}{
+		{secOptions, uint64(optBuf.Len())},
+		{secModel, uint64(modelBuf.Len())},
+		{secDataset, uint64(16 + 4*n*ix.dim)},
+		{secSqNorms, uint64(8 + 4*n)},
+		{secTombstones, uint64(tombBuf.Len())},
+		{secDeadSet, uint64(deadBuf.Len())},
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(snapMagic); err != nil {
+		return err
+	}
+	var u4 [4]byte
+	binary.LittleEndian.PutUint32(u4[:], snapVersion)
+	bw.Write(u4[:])
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(sections)))
+	bw.Write(u4[:])
+	off := uint64(snapHeaderFixed + snapSectionEntry*len(sections))
+	for _, s := range sections {
+		binary.LittleEndian.PutUint32(u4[:], s.id)
+		bw.Write(u4[:])
+		binary.LittleEndian.PutUint32(u4[:], 0)
+		bw.Write(u4[:])
+		binary.LittleEndian.PutUint64(u8[:], off)
+		bw.Write(u8[:])
+		binary.LittleEndian.PutUint64(u8[:], s.len)
+		bw.Write(u8[:])
+		off += s.len
+	}
+
+	bw.Write(optBuf.Bytes())
+	bw.Write(modelBuf.Bytes())
+
+	binary.LittleEndian.PutUint64(u8[:], uint64(n))
+	bw.Write(u8[:])
+	binary.LittleEndian.PutUint32(u4[:], uint32(ix.dim))
+	bw.Write(u4[:])
+	binary.LittleEndian.PutUint32(u4[:], 0)
+	bw.Write(u4[:])
+	if err := writeFloats(bw, ep.data.Data); err != nil {
+		return err
+	}
+
+	binary.LittleEndian.PutUint64(u8[:], uint64(n))
+	bw.Write(u8[:])
+	if err := writeFloats(bw, ep.data.SqNorms); err != nil {
+		return err
+	}
+
+	bw.Write(tombBuf.Bytes())
+	bw.Write(deadBuf.Bytes())
+	return bw.Flush()
+}
+
+// encodeBitmap serializes a bitset as a word count plus its words.
+func encodeBitmap(s *bitset.Set) *bytes.Buffer {
+	words := s.Words()
+	var buf bytes.Buffer
+	var u8 [8]byte
+	binary.LittleEndian.PutUint64(u8[:], uint64(len(words)))
+	buf.Write(u8[:])
+	for _, wd := range words {
+		binary.LittleEndian.PutUint64(u8[:], wd)
+		buf.Write(u8[:])
+	}
+	return &buf
+}
+
+// writeFloats streams vals in 64 KB staging chunks (mirroring readFloats);
+// the dataset payload dominates a snapshot, so per-element Write calls
+// would be the bottleneck.
+func writeFloats(bw *bufio.Writer, vals []float32) error {
+	buf := make([]byte, 1<<16)
+	for len(vals) > 0 {
+		span := len(vals)
+		if span > len(buf)/4 {
+			span = len(buf) / 4
+		}
+		for j := 0; j < span; j++ {
+			binary.LittleEndian.PutUint32(buf[j*4:], math.Float32bits(vals[j]))
+		}
+		if _, err := bw.Write(buf[:span*4]); err != nil {
+			return err
+		}
+		vals = vals[span:]
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot to path. The file is closed exactly once, and
+// a close error (where buffered data is actually written on many
+// filesystems) surfaces when no earlier write failed.
+func (ix *Index) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return ix.Save(f)
+}
+
+// Load reads a snapshot written by Save and returns a servable index. The
+// stream is consumed strictly forward (sections are stored in offset
+// order; unknown sections are skipped), so r needs no seeking.
+func Load(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [snapHeaderFixed]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("usp: reading snapshot header: %w", err)
+	}
+	if string(hdr[:8]) != snapMagic {
+		return nil, fmt.Errorf("usp: not a snapshot file (magic %q)", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != snapVersion {
+		return nil, fmt.Errorf("usp: unsupported snapshot version %d", v)
+	}
+	count := binary.LittleEndian.Uint32(hdr[12:16])
+	if count == 0 || count > 1024 {
+		return nil, fmt.Errorf("usp: implausible section count %d", count)
+	}
+	type entry struct {
+		id       uint32
+		off, len uint64
+	}
+	entries := make([]entry, count)
+	var eb [snapSectionEntry]byte
+	for i := range entries {
+		if _, err := io.ReadFull(br, eb[:]); err != nil {
+			return nil, fmt.Errorf("usp: reading section table: %w", err)
+		}
+		entries[i] = entry{
+			id:  binary.LittleEndian.Uint32(eb[0:4]),
+			off: binary.LittleEndian.Uint64(eb[8:16]),
+			len: binary.LittleEndian.Uint64(eb[16:24]),
+		}
+	}
+
+	var (
+		so      *snapOptions
+		ens     *core.Ensemble
+		hier    *core.Hierarchy
+		ds      *dataset.Dataset
+		norms   []float32
+		tombs   *bitset.Set
+		deadSet *bitset.Set
+	)
+	pos := uint64(snapHeaderFixed) + uint64(snapSectionEntry)*uint64(count)
+	for _, e := range entries {
+		if e.off < pos {
+			return nil, fmt.Errorf("usp: section %d overlaps (offset %d < position %d)", e.id, e.off, pos)
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(e.off-pos)); err != nil {
+			return nil, fmt.Errorf("usp: seeking section %d: %w", e.id, err)
+		}
+		lr := io.LimitReader(br, int64(e.len))
+		var err error
+		switch e.id {
+		case secOptions:
+			so = &snapOptions{}
+			err = gob.NewDecoder(lr).Decode(so)
+		case secModel:
+			ens, hier, err = readModelSection(lr)
+		case secDataset:
+			ds, err = readDatasetSection(lr)
+		case secSqNorms:
+			norms, err = readNormsSection(lr)
+		case secTombstones:
+			tombs, err = readBitmapSection(lr)
+		case secDeadSet:
+			deadSet, err = readBitmapSection(lr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("usp: section %d: %w", e.id, err)
+		}
+		if _, err := io.Copy(io.Discard, lr); err != nil {
+			return nil, fmt.Errorf("usp: draining section %d: %w", e.id, err)
+		}
+		pos = e.off + e.len
+	}
+
+	if so == nil || ds == nil || (ens == nil && hier == nil) {
+		return nil, fmt.Errorf("usp: snapshot missing a required section (options/model/dataset)")
+	}
+	if len(norms) == int(ds.N) {
+		ds.SqNorms = norms
+	} else {
+		ds.EnsureSqNorms(true)
+	}
+
+	if deadSet.Count() != so.Dead {
+		return nil, fmt.Errorf("usp: dead-set section (%d ids) disagrees with options (%d)",
+			deadSet.Count(), so.Dead)
+	}
+	opt := Options{
+		Bins: so.Bins, KPrime: so.KPrime, Epochs: so.Epochs, BatchSize: so.BatchSize,
+		Ensemble: so.Ensemble, Eta: Float(so.Eta), Dropout: Float(so.Dropout),
+		Hidden: so.Hidden, Logistic: so.Logistic, Hierarchy: so.Hierarchy,
+		Seed: so.Seed, Shards: so.Shards, CompactAfter: so.CompactAfter,
+	}.withDefaults()
+	return newIndex(ds, ens, hier, opt, so.Stats, so.Epoch, tombs, deadSet), nil
+}
+
+// LoadFile reads a snapshot file written by SaveFile.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// IsSnapshotFile sniffs whether path starts with the snapshot magic —
+// how cmd/uspquery distinguishes self-contained snapshots from legacy
+// model-only index files.
+func IsSnapshotFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return false
+	}
+	return string(m[:]) == snapMagic
+}
+
+func readModelSection(r io.Reader) (*core.Ensemble, *core.Hierarchy, error) {
+	var kind [1]byte
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
+		return nil, nil, fmt.Errorf("reading model kind: %w", err)
+	}
+	switch kind[0] {
+	case modelKindEnsemble:
+		ens, err := core.LoadEnsemble(r)
+		return ens, nil, err
+	case modelKindHierarchy:
+		hier, err := core.LoadHierarchy(r)
+		return nil, hier, err
+	default:
+		return nil, nil, fmt.Errorf("unknown model kind %d", kind[0])
+	}
+}
+
+func readDatasetSection(r io.Reader) (*dataset.Dataset, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("reading dataset header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:8])
+	dim := binary.LittleEndian.Uint32(hdr[8:12])
+	if dim == 0 || dim > 1<<20 || n > 1<<40 {
+		return nil, fmt.Errorf("implausible dataset shape n=%d dim=%d", n, dim)
+	}
+	data, err := readFloats(r, int(n)*int(dim))
+	if err != nil {
+		return nil, fmt.Errorf("reading rows: %w", err)
+	}
+	return &dataset.Dataset{N: int(n), Dim: int(dim), Data: data}, nil
+}
+
+func readNormsSection(r io.Reader) ([]float32, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("reading norm header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:])
+	if n > 1<<40 {
+		return nil, fmt.Errorf("implausible norm count %d", n)
+	}
+	return readFloats(r, int(n))
+}
+
+func readBitmapSection(r io.Reader) (*bitset.Set, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("reading bitmap header: %w", err)
+	}
+	nw := binary.LittleEndian.Uint64(hdr[:])
+	if nw > 1<<34 {
+		return nil, fmt.Errorf("implausible bitmap word count %d", nw)
+	}
+	words := make([]uint64, nw)
+	buf := make([]byte, 1<<14)
+	for i := 0; i < len(words); {
+		span := len(words) - i
+		if span > len(buf)/8 {
+			span = len(buf) / 8
+		}
+		if _, err := io.ReadFull(r, buf[:span*8]); err != nil {
+			return nil, fmt.Errorf("reading bitmap words: %w", err)
+		}
+		for j := 0; j < span; j++ {
+			words[i+j] = binary.LittleEndian.Uint64(buf[j*8:])
+		}
+		i += span
+	}
+	return bitset.FromWords(words), nil
+}
+
+func readFloats(r io.Reader, n int) ([]float32, error) {
+	out := make([]float32, n)
+	buf := make([]byte, 1<<16)
+	for i := 0; i < n; {
+		span := n - i
+		if span > len(buf)/4 {
+			span = len(buf) / 4
+		}
+		if _, err := io.ReadFull(r, buf[:span*4]); err != nil {
+			return nil, err
+		}
+		for j := 0; j < span; j++ {
+			out[i+j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+		}
+		i += span
+	}
+	return out, nil
+}

@@ -16,6 +16,14 @@
 //	...
 //	results, err := ix.Search(query, 10, usp.SearchOptions{Probes: 2})
 //
+// A built index is a live, mutable collection: Add routes new vectors in
+// without retraining, Delete tombstones existing ones, a background
+// compactor folds both back into the contiguous lookup tables, and
+// Save/Load round-trip the whole index — models, tables, dataset, norm
+// cache, tombstones — through a single self-contained snapshot file.
+// Queries are lock-free: they resolve an atomically published immutable
+// epoch, so readers never contend with writers or with compaction.
+//
 // The internal packages additionally contain every baseline the paper
 // evaluates against (Neural LSH, K-means, LSH, partitioning trees, ScaNN,
 // HNSW, IVF-PQ, DBSCAN, spectral clustering); see DESIGN.md.
@@ -25,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -39,8 +48,10 @@ type Options struct {
 	// KPrime is the neighborhood width k′ of the offline k′-NN matrix
 	// (default 10, the paper's choice).
 	KPrime int
-	// Eta is the balance weight η of the loss (default 10).
-	Eta float64
+	// Eta is the balance weight η of the loss. nil selects the paper's
+	// default of 10; Float(0) disables the balance term explicitly (a
+	// meaningful zero a plain float field could not express).
+	Eta *float64
 	// Epochs of training per model (default 60).
 	Epochs int
 	// BatchSize for mini-batch sampling (default max(64, n/25) ≈ 4%).
@@ -50,8 +61,9 @@ type Options struct {
 	Hidden []int
 	// Logistic selects the single-layer logistic-regression architecture.
 	Logistic bool
-	// Dropout probability on hidden layers (default 0.1).
-	Dropout float64
+	// Dropout probability on hidden layers. nil selects the paper's 0.1
+	// when hidden layers exist; Float(0) disables dropout explicitly.
+	Dropout *float64
 	// Ensemble is the number of boosted models e (default 1).
 	Ensemble int
 	// Hierarchy, when non-empty, trains a recursive partition with the
@@ -60,10 +72,27 @@ type Options struct {
 	Hierarchy []int
 	// Seed makes the build reproducible.
 	Seed int64
+	// Shards is the number of write shards pending mutations are striped
+	// across (default 8). Shards bound the copy cost of publishing an
+	// epoch after Add and let the compactor merge independent spill state;
+	// they are also the unit a future multi-node split would distribute.
+	Shards int
+	// CompactAfter is the number of pending mutations (inserts plus
+	// deletes since the last compaction) that triggers a background
+	// compaction (default 1024). Negative disables automatic compaction;
+	// Compact can still be invoked manually.
+	CompactAfter int
 	// Logf receives progress lines when set.
 	Logf func(format string, args ...any)
 }
 
+// Float returns a pointer to v — the way to set the optional float fields
+// of Options (Eta, Dropout), including their meaningful zero values.
+func Float(v float64) *float64 { return &v }
+
+// withDefaults resolves unset fields. Optional floats use nil (not the zero
+// value) as the "unset" sentinel so explicit zeros survive: Eta: Float(0)
+// and Dropout: Float(0) are honored, not rewritten to the defaults.
 func (o Options) withDefaults() Options {
 	if o.Bins == 0 {
 		o.Bins = 16
@@ -71,8 +100,8 @@ func (o Options) withDefaults() Options {
 	if o.KPrime == 0 {
 		o.KPrime = 10
 	}
-	if o.Eta == 0 {
-		o.Eta = 10
+	if o.Eta == nil {
+		o.Eta = Float(10)
 	}
 	if o.Epochs == 0 {
 		o.Epochs = 60
@@ -83,13 +112,38 @@ func (o Options) withDefaults() Options {
 	if o.Logistic {
 		o.Hidden = nil
 	}
-	if o.Dropout == 0 && len(o.Hidden) > 0 {
-		o.Dropout = 0.1
+	if o.Dropout == nil {
+		if len(o.Hidden) > 0 {
+			o.Dropout = Float(0.1)
+		} else {
+			o.Dropout = Float(0)
+		}
 	}
 	if o.Ensemble == 0 {
 		o.Ensemble = 1
 	}
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.CompactAfter == 0 {
+		o.CompactAfter = 1024
+	}
 	return o
+}
+
+// coreConfig translates resolved Options into a training config.
+func (o Options) coreConfig() core.Config {
+	return core.Config{
+		Bins:      o.Bins,
+		KPrime:    o.KPrime,
+		Eta:       *o.Eta,
+		Epochs:    o.Epochs,
+		BatchSize: o.BatchSize,
+		Hidden:    o.Hidden,
+		Dropout:   *o.Dropout,
+		Seed:      o.Seed,
+		Logf:      o.Logf,
+	}
 }
 
 // Result is one returned neighbor.
@@ -120,18 +174,40 @@ type SearchOptions struct {
 
 // Index is a built USP index over a dataset.
 //
-// Concurrency: Search, SearchBatch, CandidateSet, and Searcher queries may
-// run concurrently with each other and with Add. Queries take the read side
-// of an RWMutex and Add the write side, so lookups never observe a
-// half-appended vector.
+// Concurrency: queries (Search, SearchBatch, CandidateSet, Searcher entry
+// points) are lock-free — each resolves the atomically published epoch,
+// an immutable snapshot of the dataset view, lookup tables, pending-insert
+// spill lists, and tombstones — so they may run concurrently with each
+// other, with Add/Delete, and with compaction, and each query observes one
+// consistent point-in-time state. Mutators serialize behind a short writer
+// lock that never blocks readers; the heavy parts of Add (model routing)
+// and Compact (table merging) run outside it.
 type Index struct {
-	data  *dataset.Dataset
-	ens   *core.Ensemble
-	hier  *core.Hierarchy
+	dim   int
+	opt   Options // resolved by withDefaults; retained for Save
 	stats BuildStats
 
-	// mu orders queries (read side) against Add (write side).
-	mu sync.RWMutex
+	// live is the epoch all reads resolve. Writers publish a successor
+	// with an atomic store; readers load it once per query.
+	live atomic.Pointer[epoch]
+
+	// wmu serializes mutators: id assignment, dataset growth, spill
+	// staging, tombstone derivation, and epoch publication.
+	wmu  sync.Mutex
+	data *dataset.Dataset // canonical growing storage (writer-owned)
+	// shards is the latest published per-shard spill state. Writers copy
+	// a shard's slot table before changing it (copy-on-write), so slices
+	// reachable from published epochs are never mutated.
+	shards         []spillShard
+	members        int          // ensemble size, or 1 for a hierarchy
+	slotsPerMember int          // bins per member, or the hierarchy leaf count
+	pendingOps     atomic.Int64 // inserts+deletes since last compaction
+
+	// compactMu serializes compactions; compactQueued collapses redundant
+	// background triggers while one is already pending.
+	compactMu     sync.Mutex
+	compactQueued atomic.Bool
+
 	// searchers pools query contexts for the convenience entry points
 	// (Search, SearchBatch, CandidateSet) so they stay allocation-lean
 	// without the caller managing Searchers explicitly.
@@ -152,27 +228,15 @@ func Build(vectors [][]float32, opt Options) (*Index, error) {
 	// distance kernel; Append keeps the cache extended for Add.
 	ds.EnsureSqNorms(false)
 
-	cfg := core.Config{
-		Bins:      opt.Bins,
-		KPrime:    opt.KPrime,
-		Eta:       opt.Eta,
-		Epochs:    opt.Epochs,
-		BatchSize: opt.BatchSize,
-		Hidden:    opt.Hidden,
-		Dropout:   opt.Dropout,
-		Seed:      opt.Seed,
-		Logf:      opt.Logf,
-	}
+	cfg := opt.coreConfig()
 
-	ix := &Index{data: ds}
 	if len(opt.Hierarchy) > 0 {
 		h, stats, err := core.TrainHierarchy(ds, opt.Hierarchy, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("usp: %w", err)
 		}
-		ix.hier = h
-		ix.stats = BuildStats{Bins: h.NumBins, Models: len(stats), Params: h.TotalParams()}
-		return ix, nil
+		bs := BuildStats{Bins: h.NumBins, Models: len(stats), Params: h.TotalParams()}
+		return newIndex(ds, nil, h, opt, bs, 0, nil, nil), nil
 	}
 
 	kp := cfg.KPrime
@@ -185,36 +249,35 @@ func Build(vectors [][]float32, opt Options) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("usp: %w", err)
 	}
-	ix.ens = ens
-	ix.stats = BuildStats{
+	bs := BuildStats{
 		Bins:   opt.Bins,
 		Models: ens.Size(),
 		Params: stats.TotalParams(),
 	}
-	return ix, nil
+	return newIndex(ds, ens, nil, opt, bs, 0, nil, nil), nil
 }
 
 // Stats reports offline-phase metrics.
 func (ix *Index) Stats() BuildStats { return ix.stats }
 
-// Len returns the number of indexed vectors. Safe to call concurrently
-// with Add.
+// Len returns the number of live (non-deleted) vectors. Lock-free; safe to
+// call concurrently with any mutation.
 func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.data.N
+	ep := ix.live.Load()
+	return ep.data.N - ep.dead() - ep.tombs.Count()
 }
 
 // Dim returns the vector dimensionality.
-func (ix *Index) Dim() int { return ix.data.Dim }
+func (ix *Index) Dim() int { return ix.dim }
 
 // CandidateSet returns the ids the index would scan for q (Algorithm 2,
 // step 2) — exposed so callers can hand candidates to their own scorer
 // (e.g. a ScaNN pipeline, as in §5.4.3). It is a thin wrapper over the
-// batched engine's candidate gathering, using a pooled Searcher.
+// batched engine's candidate gathering, using a pooled Searcher; deleted
+// ids are filtered out.
 func (ix *Index) CandidateSet(q []float32, opt SearchOptions) ([]int, error) {
-	if len(q) != ix.data.Dim {
-		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.data.Dim)
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.dim)
 	}
 	probes := opt.Probes
 	if probes <= 0 {
@@ -222,10 +285,15 @@ func (ix *Index) CandidateSet(q []float32, opt SearchOptions) ([]int, error) {
 	}
 	s := ix.getSearcher()
 	defer ix.putSearcher(s)
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	s.gatherCandidates(q, probes, opt.UnionEnsemble)
-	return core.ToInts(s.cands), nil
+	ep := ix.live.Load()
+	s.gatherCandidates(ep, q, probes, opt.UnionEnsemble)
+	out := make([]int, 0, len(s.cands))
+	for _, id := range s.cands {
+		if !ep.tombs.Has(int(id)) {
+			out = append(out, int(id))
+		}
+	}
+	return out, nil
 }
 
 // Search returns the k approximate nearest neighbors of q. It is a thin
@@ -238,41 +306,6 @@ func (ix *Index) Search(q []float32, k int, opt SearchOptions) ([]Result, error)
 	return s.Search(q, k, opt)
 }
 
-// Add inserts a new vector into the index without retraining: the trained
-// model routes it to its most probable bin(s), the same decision rule
-// queries use, so it is immediately findable. Returns the new vector's id.
-// Safe to call concurrently with queries. Heavy drift from the training
-// distribution degrades partition quality; rebuild periodically under churn.
-func (ix *Index) Add(vec []float32) (int, error) {
-	if len(vec) != ix.data.Dim {
-		return 0, fmt.Errorf("usp: vector dim %d, index dim %d", len(vec), ix.data.Dim)
-	}
-	// Route before taking the write lock: the trained models are immutable,
-	// so the forward passes need no exclusivity. Only the appends (dataset
-	// row, Assign, spill lists) run under the lock, keeping concurrent
-	// searches unblocked during inference. A pooled Searcher's scratch
-	// backs the forward passes, so a sustained Add stream allocates only
-	// the appended storage itself.
-	s := ix.getSearcher()
-	defer ix.putSearcher(s)
-	var leaf int
-	if ix.hier != nil {
-		leaf = ix.hier.RouteLeafWith(&s.qs, vec)
-	} else {
-		s.routeBins = ix.ens.RouteBinsWith(&s.qs, vec, s.routeBins[:0])
-	}
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	id := ix.data.N
-	ix.data.Append(vec)
-	if ix.hier != nil {
-		ix.hier.InsertRouted(id, leaf)
-	} else {
-		ix.ens.InsertRouted(id, s.routeBins)
-	}
-	return id, nil
-}
-
 // Cluster trains a single USP model with k bins and returns a cluster label
 // per vector — the paper's use of the partitioner as an unsupervised
 // clustering method (§5.5).
@@ -282,14 +315,7 @@ func Cluster(vectors [][]float32, k int, opt Options) ([]int, error) {
 	}
 	opt = opt.withDefaults()
 	ds := dataset.FromRowsCopy(vectors)
-	return core.ClusterLabels(ds, k, core.Config{
-		KPrime:    opt.KPrime,
-		Eta:       opt.Eta,
-		Epochs:    opt.Epochs,
-		BatchSize: opt.BatchSize,
-		Hidden:    opt.Hidden,
-		Dropout:   opt.Dropout,
-		Seed:      opt.Seed,
-		Logf:      opt.Logf,
-	})
+	cfg := opt.coreConfig()
+	cfg.Bins = 0 // ClusterLabels sets Bins = k
+	return core.ClusterLabels(ds, k, cfg)
 }

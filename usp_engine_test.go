@@ -60,7 +60,7 @@ func TestSearcherMatchesLegacyPipeline(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				want := knn.SearchSubset(ix.data, cands, q, 10)
+				want := knn.SearchSubset(ix.live.Load().data, cands, q, 10)
 				got, err := s.Search(q, 10, tc.opt)
 				if err != nil {
 					t.Fatal(err)
@@ -77,7 +77,7 @@ func TestSearcherMatchesLegacyPipeline(t *testing.T) {
 						// candidates whose true distances agree to float32
 						// round-off may swap ranks. Any other id change is a
 						// correctness bug.
-						dGot := vecmath.SquaredL2(q, ix.data.Row(got[i].ID))
+						dGot := vecmath.SquaredL2(q, ix.live.Load().data.Row(got[i].ID))
 						if !within(float64(dGot), float64(want[i].Dist), 1e-3) {
 							t.Fatalf("q%d result[%d]: id %d (exact dist %v), want id %d (dist %v)",
 								qi, i, got[i].ID, dGot, want[i].Index, want[i].Dist)
@@ -105,7 +105,7 @@ func TestSearcherMatchesLegacyPipelineHierarchy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want := knn.SearchSubset(ix.data, cands, q, 5)
+		want := knn.SearchSubset(ix.live.Load().data, cands, q, 5)
 		got, err := s.Search(q, 5, SearchOptions{Probes: 2})
 		if err != nil {
 			t.Fatal(err)
@@ -115,7 +115,7 @@ func TestSearcherMatchesLegacyPipelineHierarchy(t *testing.T) {
 		}
 		for i := range want {
 			if got[i].ID != want[i].Index {
-				dGot := vecmath.SquaredL2(q, ix.data.Row(got[i].ID))
+				dGot := vecmath.SquaredL2(q, ix.live.Load().data.Row(got[i].ID))
 				if !within(float64(dGot), float64(want[i].Dist), 1e-3) {
 					t.Fatalf("q%d result[%d]: id %d, want %d", qi, i, got[i].ID, want[i].Index)
 				}
