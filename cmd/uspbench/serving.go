@@ -6,20 +6,27 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	usp "repro"
 	"repro/internal/dataset"
 	"repro/internal/knn"
+	"repro/internal/vecmath"
 )
 
 // servingBench measures the online serving path — the quantities the
 // zero-allocation query engine is accountable for — and writes them as JSON
 // so successive PRs have a machine-readable perf trajectory to diff against.
 type servingBench struct {
-	Timestamp    string  `json:"timestamp"`
-	GoMaxProcs   int     `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// Kernel names the vecmath implementation dispatch selected at init
+	// ("scalar", "avx2-fma", "neon"), so perf numbers are attributable to a
+	// code path.
+	Kernel       string  `json:"kernel"`
 	N            int     `json:"n"`
 	Dim          int     `json:"dim"`
 	Queries      int     `json:"queries"`
@@ -37,6 +44,18 @@ type servingBench struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// AvgCandidates is the mean candidate-set size |C(q)|.
 	AvgCandidates float64 `json:"avg_candidates"`
+	// Scaling is the multi-core scaling curve: aggregate QPS with
+	// GOMAXPROCS 1/4/16 and one concurrent client (own Searcher, own
+	// goroutine) per processor. On machines with fewer physical cores the
+	// curve records saturation rather than speedup — num_cpu says which.
+	Scaling []scalingPoint `json:"scaling"`
+}
+
+// scalingPoint is one GOMAXPROCS setting of the multi-core curve.
+type scalingPoint struct {
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Clients    int     `json:"clients"`
+	QPS        float64 `json:"qps"`
 }
 
 // servingBenchConfig carries the overridable knobs of the serving benchmark;
@@ -134,9 +153,28 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 	}
 	qpsBatch := float64(rounds*len(qrows)) / time.Since(start).Seconds()
 
+	// Multi-core scaling curve: one concurrent client per processor, each
+	// driving its own Searcher over the query set from a staggered offset
+	// (so clients don't march through the index in lockstep).
+	prevProcs := runtime.GOMAXPROCS(0)
+	var scaling []scalingPoint
+	for _, procs := range []int{1, 4, 16} {
+		logf("serving bench: scaling point GOMAXPROCS=%d...", procs)
+		runtime.GOMAXPROCS(procs)
+		qps, err := concurrentQPS(ix, qrows, k, opt, procs)
+		if err != nil {
+			runtime.GOMAXPROCS(prevProcs)
+			return err
+		}
+		scaling = append(scaling, scalingPoint{GoMaxProcs: procs, Clients: procs, QPS: qps})
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
 	rep := servingBench{
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Kernel:        vecmath.Impl(),
 		N:             train.N,
 		Dim:           train.Dim,
 		Queries:       len(qrows),
@@ -148,6 +186,7 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		Recall10:      recall,
 		AllocsPerOp:   allocs,
 		AvgCandidates: float64(candTotal) / float64(len(qrows)),
+		Scaling:       scaling,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -157,7 +196,47 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("serving bench: qps_single=%.0f qps_batch=%.0f recall@10=%.3f allocs/op=%.1f → %s\n",
-		qpsSingle, qpsBatch, recall, allocs, path)
+	fmt.Printf("serving bench: kernel=%s qps_single=%.0f qps_batch=%.0f recall@10=%.3f allocs/op=%.1f → %s\n",
+		vecmath.Impl(), qpsSingle, qpsBatch, recall, allocs, path)
+	for _, sp := range scaling {
+		fmt.Printf("  scaling: gomaxprocs=%-2d clients=%-2d qps=%.0f\n", sp.GoMaxProcs, sp.Clients, sp.QPS)
+	}
 	return nil
+}
+
+// concurrentQPS measures aggregate throughput with the given number of
+// client goroutines, each on its own Searcher, running a fixed number of
+// passes over the query set.
+func concurrentQPS(ix *usp.Index, qrows [][]float32, k int, opt usp.SearchOptions, clients int) (float64, error) {
+	const rounds = 4
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s := ix.NewSearcher()
+			dst := make([]usp.Result, 0, k)
+			off := c * 17 % len(qrows)
+			for r := 0; r < rounds; r++ {
+				for qi := range qrows {
+					var err error
+					dst, err = s.SearchInto(dst[:0], qrows[(qi+off)%len(qrows)], k, opt)
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(clients*rounds*len(qrows)) / time.Since(start).Seconds(), nil
 }

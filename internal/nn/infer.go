@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/tensor"
+	"repro/internal/vecmath"
 )
 
 // Single-row, allocation-free inference. The online query path evaluates the
@@ -68,8 +69,10 @@ func (s *Sequential) PredictVecInto(dst []float32, v []float32, sc *InferScratch
 }
 
 // inferRow computes dst = x·W + b for a single row, mirroring
-// tensor.MatMul's k-major accumulation (including its skip of zero inputs)
-// followed by the bias add, so the result matches the batch path bitwise.
+// tensor.MatMul's k-major accumulation (the same dispatched vecmath.AXPY
+// microkernel, the same skip of zero inputs) followed by the bias add, so
+// the result matches the batch path bitwise whichever kernel implementation
+// — scalar or SIMD — the process dispatched at init.
 func (d *Dense) inferRow(dst, x []float32) {
 	w := d.W.Value
 	for j := range dst {
@@ -79,10 +82,7 @@ func (d *Dense) inferRow(dst, x []float32) {
 		if xv == 0 {
 			continue
 		}
-		wrow := w.Row(k)
-		for j, wv := range wrow {
-			dst[j] += xv * wv
-		}
+		vecmath.AXPY(xv, w.Row(k), dst)
 	}
 	for j, bv := range d.B.Value.Data {
 		dst[j] += bv

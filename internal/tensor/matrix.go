@@ -5,12 +5,21 @@
 // This package is the replacement for the tensor core of the deep-learning
 // framework the paper uses (PyTorch); the operation set is deliberately
 // limited to what a sequential MLP with batch normalization needs.
+//
+// The matmul family is built on the dispatched vecmath microkernels (AXPY
+// for the k-major variants, Dot for the contiguous-inner-product one), so
+// it picks up the SIMD ports automatically and — critically — shares its
+// accumulation arithmetic with the single-row inference path in internal/nn
+// (nn.(*Dense).inferRow calls the same AXPY kernel), keeping batch and
+// single-row results bit-identical per process whichever implementation is
+// dispatched.
 package tensor
 
 import (
 	"fmt"
 
 	"repro/internal/par"
+	"repro/internal/vecmath"
 )
 
 // Matrix is a dense row-major matrix of float32.
@@ -98,7 +107,10 @@ func (m *Matrix) T() *Matrix {
 // MatMul computes dst = a · b. dst must be a.Rows×b.Cols and must not alias a
 // or b. The kernel parallelizes over rows of a and iterates k-major within a
 // row so that the inner loop is a contiguous AXPY over b's rows (cache
-// friendly for row-major operands).
+// friendly for row-major operands), dispatched through vecmath to the SIMD
+// port when one is active. Zero inputs are skipped — worthwhile for the
+// sparse activations ReLU produces, and exactly mirrored by nn's single-row
+// inference path.
 func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
@@ -115,10 +127,7 @@ func MatMul(dst, a, b *Matrix) {
 				if av == 0 {
 					continue
 				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+				vecmath.AXPY(av, b.Row(k), drow)
 			}
 		}
 	})
@@ -144,10 +153,7 @@ func MatMulATB(dst, a, b *Matrix) {
 				if av == 0 {
 					continue
 				}
-				brow := b.Row(n)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+				vecmath.AXPY(av, b.Row(n), drow)
 			}
 		}
 	})
@@ -166,12 +172,7 @@ func MatMulABT(dst, a, b *Matrix) {
 			arow := a.Row(i)
 			drow := dst.Row(i)
 			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float32
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				drow[j] = s
+				drow[j] = vecmath.Dot(arow, b.Row(j))
 			}
 		}
 	})

@@ -1,0 +1,31 @@
+package vecmath
+
+// arm64 kernel selection. No feature detection is needed: floating-point
+// NEON (AdvSIMD) is an architecturally mandatory part of AArch64, so the
+// assembly kernels are always usable. USP_FORCE_SCALAR still pins the
+// scalar fallback (dispatch.go).
+
+// The assembly kernels (kernels_arm64.s). Marked noescape so passing slice
+// arguments never forces the backing arrays to the heap — the query engine's
+// zero-allocation guarantee depends on it.
+
+//go:noescape
+func dotNEON(a, b []float32) float32
+
+//go:noescape
+func sqL2NEON(a, b []float32) float32
+
+//go:noescape
+func axpyNEON(alpha float32, x, y []float32)
+
+var neonKernels = kernels{
+	name: "neon",
+	dot:  dotNEON,
+	sqL2: sqL2NEON,
+	axpy: axpyNEON,
+}
+
+// archKernels returns the best kernel set this CPU supports.
+func archKernels() (kernels, bool) {
+	return neonKernels, true
+}

@@ -1,0 +1,9 @@
+//go:build !amd64 && !arm64
+
+package vecmath
+
+// archKernels on architectures without an assembly port: the portable
+// scalar kernels are the only implementation. To add a new architecture,
+// provide kernels_<arch>.s + dispatch_<arch>.go exporting archKernels (see
+// DESIGN.md, "Kernel layer") and exclude the arch from this build tag.
+func archKernels() (kernels, bool) { return kernels{}, false }

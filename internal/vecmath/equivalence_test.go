@@ -1,0 +1,199 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// Cross-implementation equivalence: the SIMD kernels accumulate in a
+// different order than the scalar ones and contract multiply-add pairs into
+// FMAs, so they are NOT bit-identical to scalar — they agree up to float32
+// rounding. These tests bound the divergence with a standard forward error
+// model: for a length-n reduction the accumulated rounding error is at most
+// ~n·ε times the sum of absolute terms. Within one process only one
+// implementation is ever dispatched (dispatch.go), so the bit-identity
+// guarantees of the query engine (batch vs single-row inference, cached vs
+// query-side norms) are unaffected by the tolerance here.
+
+// equivDims covers the vector-width boundaries of both ports: below one
+// lane, exact multiples of the 4/8/16-element block sizes, and every odd
+// tail around them.
+var equivDims = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33,
+	63, 64, 65, 127, 128, 129, 255, 256, 257, 511, 512, 513, 1023, 1024, 1025}
+
+// reductionTol returns the allowed absolute divergence between two float32
+// reductions of the given per-term absolute mass.
+func reductionTol(n int, absMass float64) float64 {
+	const eps = 1.1920929e-7 // 2^-23
+	return float64(n+16)*eps*absMass + 1e-12
+}
+
+func skewedVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		// Mixed signs and magnitudes spanning ~6 decades, so cancellation
+		// and absorption both occur.
+		v[i] = float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3)))
+	}
+	return v
+}
+
+func TestSIMDDotMatchesScalar(t *testing.T) {
+	arch, ok := archKernels()
+	if !ok {
+		t.Skip("no SIMD kernels on this architecture")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range equivDims {
+		for trial := 0; trial < 20; trial++ {
+			a, b := skewedVec(rng, n), skewedVec(rng, n)
+			var mass float64
+			for i := range a {
+				mass += math.Abs(float64(a[i]) * float64(b[i]))
+			}
+			got := float64(arch.dot(a, b))
+			want := float64(dotScalar(a, b))
+			if d := math.Abs(got - want); d > reductionTol(n, mass) {
+				t.Fatalf("n=%d %s dot=%v scalar=%v |diff|=%v > tol=%v",
+					n, arch.name, got, want, d, reductionTol(n, mass))
+			}
+		}
+	}
+}
+
+func TestSIMDSquaredL2MatchesScalar(t *testing.T) {
+	arch, ok := archKernels()
+	if !ok {
+		t.Skip("no SIMD kernels on this architecture")
+	}
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range equivDims {
+		for trial := 0; trial < 20; trial++ {
+			a, b := skewedVec(rng, n), skewedVec(rng, n)
+			var mass float64
+			for i := range a {
+				d := float64(a[i]) - float64(b[i])
+				mass += d * d
+			}
+			got := float64(arch.sqL2(a, b))
+			want := float64(squaredL2Scalar(a, b))
+			if d := math.Abs(got - want); d > reductionTol(n, mass) {
+				t.Fatalf("n=%d %s sqL2=%v scalar=%v |diff|=%v > tol=%v",
+					n, arch.name, got, want, d, reductionTol(n, mass))
+			}
+		}
+	}
+}
+
+// TestSIMDSquaredL2Exactness pins the properties the engine relies on
+// exactly, not just within tolerance: d(a,a) == 0 (subtract-then-square is
+// exact for equal inputs, FMA or not) and bitwise symmetry ((-x)² == x²).
+func TestSIMDSquaredL2Exactness(t *testing.T) {
+	arch, ok := archKernels()
+	if !ok {
+		t.Skip("no SIMD kernels on this architecture")
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range equivDims {
+		a, b := skewedVec(rng, n), skewedVec(rng, n)
+		if d := arch.sqL2(a, a); d != 0 {
+			t.Fatalf("n=%d %s d(a,a)=%v, want exactly 0", n, arch.name, d)
+		}
+		if dab, dba := arch.sqL2(a, b), arch.sqL2(b, a); dab != dba {
+			t.Fatalf("n=%d %s asymmetric: %v vs %v", n, arch.name, dab, dba)
+		}
+	}
+}
+
+func TestSIMDAXPYMatchesScalar(t *testing.T) {
+	arch, ok := archKernels()
+	if !ok {
+		t.Skip("no SIMD kernels on this architecture")
+	}
+	rng := rand.New(rand.NewSource(14))
+	const eps = 1.1920929e-7
+	for _, n := range equivDims {
+		for _, alpha := range []float32{0, 1, -1, 0.37, -2.5e3} {
+			x := skewedVec(rng, n)
+			y1 := skewedVec(rng, n)
+			y2 := append([]float32(nil), y1...)
+			axpyScalar(alpha, x, y1)
+			arch.axpy(alpha, x, y2)
+			// AXPY is elementwise: the only divergence is one FMA
+			// contraction per element.
+			for i := range y1 {
+				tol := 4*eps*(math.Abs(float64(y1[i]))+math.Abs(float64(alpha)*float64(x[i]))) + 1e-12
+				if d := math.Abs(float64(y1[i]) - float64(y2[i])); d > tol {
+					t.Fatalf("n=%d alpha=%v %s y[%d]=%v scalar=%v |diff|=%v > tol=%v",
+						n, alpha, arch.name, i, y2[i], y1[i], d, tol)
+				}
+			}
+		}
+	}
+}
+
+// TestSIMDUnalignedSlices drives the assembly through every possible slice
+// misalignment (the kernels must use unaligned loads — Go slices carry no
+// alignment guarantee beyond the element size).
+func TestSIMDUnalignedSlices(t *testing.T) {
+	arch, ok := archKernels()
+	if !ok {
+		t.Skip("no SIMD kernels on this architecture")
+	}
+	rng := rand.New(rand.NewSource(15))
+	backing := skewedVec(rng, 256)
+	for off := 0; off < 16; off++ {
+		a := backing[off : off+100]
+		b := backing[off+101 : off+201]
+		var mass float64
+		for i := range a {
+			mass += math.Abs(float64(a[i]) * float64(b[i]))
+		}
+		got := float64(arch.dot(a, b))
+		want := float64(dotScalar(a, b))
+		if d := math.Abs(got - want); d > reductionTol(100, mass) {
+			t.Fatalf("offset %d: dot=%v scalar=%v", off, got, want)
+		}
+	}
+}
+
+// TestDispatchHonorsForceScalar pins the env override contract: when
+// USP_FORCE_SCALAR is set the process must be running the scalar kernels
+// (this is what the forced-scalar CI leg asserts); when it is not set, a
+// SIMD-capable host must have selected its assembly port.
+func TestDispatchHonorsForceScalar(t *testing.T) {
+	if os.Getenv(ForceScalarEnv) != "" {
+		if Impl() != "scalar" {
+			t.Fatalf("%s set but Impl() = %q", ForceScalarEnv, Impl())
+		}
+		return
+	}
+	if arch, ok := archKernels(); ok && Impl() != arch.name {
+		t.Fatalf("SIMD kernels available (%s) but Impl() = %q", arch.name, Impl())
+	}
+}
+
+// TestPublicKernelsUseActiveImpl asserts the public wrappers and the raw
+// active kernel set agree bitwise — i.e. the wrappers add bounds adaptation
+// only, no arithmetic.
+func TestPublicKernelsUseActiveImpl(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a, b := skewedVec(rng, 129), skewedVec(rng, 129)
+	if Dot(a, b) != active.dot(a, b) {
+		t.Fatal("Dot does not match active kernel")
+	}
+	if SquaredL2(a, b) != active.sqL2(a, b) {
+		t.Fatal("SquaredL2 does not match active kernel")
+	}
+	y1 := append([]float32(nil), b...)
+	y2 := append([]float32(nil), b...)
+	AXPY(0.5, a, y1)
+	active.axpy(0.5, a, y2)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatalf("AXPY diverges from active kernel at %d", i)
+		}
+	}
+}

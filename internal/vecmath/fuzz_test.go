@@ -1,0 +1,82 @@
+package vecmath
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzKernelEquivalence feeds arbitrary byte strings to every SIMD kernel
+// and checks agreement with the scalar reference under the same forward
+// error bound the deterministic equivalence tests use. The raw bytes decode
+// into two equal-length float32 vectors (so lengths 0, 1 and every odd tail
+// arise naturally from the input length); non-finite and extreme values are
+// squashed to keep the error bound meaningful — NaN/Inf propagation is
+// identical in all implementations but makes tolerances vacuous.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte{}, float32(1.5))                                       // empty
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, float32(0))                   // length 1
+	f.Add(make([]byte, 8*7), float32(-2))                               // odd tail
+	f.Add(make([]byte, 8*8), float32(0.25))                             // one lane block
+	f.Add(make([]byte, 8*129), float32(1e3))                            // big + tail
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0x80, 0x7f}, float32(1)) // NaN/Inf bits
+	f.Fuzz(func(t *testing.T, raw []byte, alpha float32) {
+		arch, ok := archKernels()
+		if !ok {
+			t.Skip("no SIMD kernels on this architecture")
+		}
+		n := len(raw) / 8
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := 0; i < n; i++ {
+			a[i] = sanitize(binary.LittleEndian.Uint32(raw[i*8:]))
+			b[i] = sanitize(binary.LittleEndian.Uint32(raw[i*8+4:]))
+		}
+		if !isFinite32(alpha) || math.Abs(float64(alpha)) > 1e6 {
+			alpha = 1
+		}
+
+		var dotMass, sqMass float64
+		for i := range a {
+			dotMass += math.Abs(float64(a[i]) * float64(b[i]))
+			d := float64(a[i]) - float64(b[i])
+			sqMass += d * d
+		}
+		if got, want := float64(arch.dot(a, b)), float64(dotScalar(a, b)); math.Abs(got-want) > reductionTol(n, dotMass) {
+			t.Fatalf("dot: %s=%v scalar=%v (n=%d)", arch.name, got, want, n)
+		}
+		if got, want := float64(arch.sqL2(a, b)), float64(squaredL2Scalar(a, b)); math.Abs(got-want) > reductionTol(n, sqMass) {
+			t.Fatalf("sqL2: %s=%v scalar=%v (n=%d)", arch.name, got, want, n)
+		}
+
+		y1 := append([]float32(nil), b...)
+		y2 := append([]float32(nil), b...)
+		axpyScalar(alpha, a, y1)
+		arch.axpy(alpha, a, y2)
+		const eps = 1.1920929e-7
+		for i := range y1 {
+			tol := 4*eps*(math.Abs(float64(y1[i]))+math.Abs(float64(alpha)*float64(a[i]))) + 1e-12
+			if d := math.Abs(float64(y1[i]) - float64(y2[i])); d > tol {
+				t.Fatalf("axpy: y[%d] %s=%v scalar=%v alpha=%v", i, arch.name, y2[i], y1[i], alpha)
+			}
+		}
+	})
+}
+
+// sanitize maps arbitrary float32 bit patterns into a finite, moderate
+// range so tolerance comparisons stay sharp.
+func sanitize(bits uint32) float32 {
+	v := math.Float32frombits(bits)
+	if !isFinite32(v) {
+		return 1
+	}
+	if av := math.Abs(float64(v)); av > 1e12 || (av != 0 && av < 1e-12) {
+		return float32(math.Mod(av, 1000)) // fold extreme magnitudes down
+	}
+	return v
+}
+
+func isFinite32(v float32) bool {
+	f := float64(v)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

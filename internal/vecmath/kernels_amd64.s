@@ -1,0 +1,160 @@
+// AVX2+FMA float32 microkernels. Selected at init by dispatch_amd64.go when
+// the CPU supports AVX2, FMA and OS-enabled YMM state; the portable scalar
+// kernels (kernels_scalar.go) remain the fallback.
+//
+// Reduction order is fixed and deterministic per kernel: two 8-lane FMA
+// accumulators over 16-element blocks, one 8-lane block, a lane-ordered
+// horizontal sum, then a scalar-FMA tail. Because the lane split and the
+// FMA contractions differ from the scalar kernels' 4-way unroll, results
+// may differ from scalar by normal float32 rounding (see DESIGN.md,
+// "Kernel layer"); equivalence_test.go bounds the divergence.
+
+#include "textflag.h"
+
+// func dotAVX2(a, b []float32) float32
+TEXT ·dotAVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPS Y0, Y0, Y0          // accumulator 0
+	VXORPS Y1, Y1, Y1          // accumulator 1
+	MOVQ CX, BX
+	SHRQ $4, BX                // 16-element blocks
+	JZ   dot8
+dot16:
+	VMOVUPS (SI), Y2
+	VMOVUPS 32(SI), Y3
+	VFMADD231PS (DI), Y2, Y0   // Y0 += a[0:8] * b[0:8]
+	VFMADD231PS 32(DI), Y3, Y1 // Y1 += a[8:16] * b[8:16]
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  dot16
+dot8:
+	TESTQ $8, CX
+	JZ    dotreduce
+	VMOVUPS (SI), Y2
+	VFMADD231PS (DI), Y2, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+dotreduce:
+	VADDPS Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0          // 4 lanes
+	VSHUFPS $0xb1, X0, X0, X1  // [1 0 3 2]
+	VADDPS X1, X0, X0
+	VSHUFPS $0x4e, X0, X0, X1  // [2 3 0 1]
+	VADDSS X1, X0, X0          // lane 0 = total
+	ANDQ $7, CX
+	JZ   dotdone
+dottail:
+	VMOVSS (SI), X2
+	VMOVSS (DI), X3
+	VFMADD231SS X3, X2, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  dottail
+dotdone:
+	VZEROUPPER
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func sqL2AVX2(a, b []float32) float32
+TEXT ·sqL2AVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ b_base+24(FP), DI
+	MOVQ a_len+8(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ CX, BX
+	SHRQ $4, BX
+	JZ   sq8
+sq16:
+	VMOVUPS (SI), Y2
+	VMOVUPS 32(SI), Y3
+	VSUBPS (DI), Y2, Y2        // Y2 = a - b
+	VSUBPS 32(DI), Y3, Y3
+	VFMADD231PS Y2, Y2, Y0     // Y0 += d*d
+	VFMADD231PS Y3, Y3, Y1
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  sq16
+sq8:
+	TESTQ $8, CX
+	JZ    sqreduce
+	VMOVUPS (SI), Y2
+	VSUBPS (DI), Y2, Y2
+	VFMADD231PS Y2, Y2, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+sqreduce:
+	VADDPS Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VSHUFPS $0xb1, X0, X0, X1
+	VADDPS X1, X0, X0
+	VSHUFPS $0x4e, X0, X0, X1
+	VADDSS X1, X0, X0
+	ANDQ $7, CX
+	JZ   sqdone
+sqtail:
+	VMOVSS (SI), X2
+	VSUBSS (DI), X2, X2
+	VFMADD231SS X2, X2, X0
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  sqtail
+sqdone:
+	VZEROUPPER
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func axpyAVX2(alpha float32, x, y []float32)
+TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
+	VBROADCASTSS alpha+0(FP), Y3
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ x_len+16(FP), CX
+	MOVQ CX, BX
+	SHRQ $4, BX
+	JZ   ax8
+ax16:
+	VMOVUPS (SI), Y2
+	VMOVUPS 32(SI), Y5
+	VMOVUPS (DI), Y4
+	VMOVUPS 32(DI), Y6
+	VFMADD231PS Y3, Y2, Y4     // y += alpha * x
+	VFMADD231PS Y3, Y5, Y6
+	VMOVUPS Y4, (DI)
+	VMOVUPS Y6, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  ax16
+ax8:
+	TESTQ $8, CX
+	JZ    axtail
+	VMOVUPS (SI), Y2
+	VMOVUPS (DI), Y4
+	VFMADD231PS Y3, Y2, Y4
+	VMOVUPS Y4, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+axtail:
+	ANDQ $7, CX
+	JZ   axdone
+axtail1:
+	VMOVSS (SI), X2
+	VMOVSS (DI), X4
+	VFMADD231SS X3, X2, X4
+	VMOVSS X4, (DI)
+	ADDQ $4, SI
+	ADDQ $4, DI
+	DECQ CX
+	JNZ  axtail1
+axdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,152 @@
+// NEON float32 microkernels, selected at init by dispatch_arm64.go (AdvSIMD
+// is mandatory on AArch64, so there is no feature check). The portable
+// scalar kernels (kernels_scalar.go) remain reachable via USP_FORCE_SCALAR.
+//
+// Reduction order is fixed and deterministic per kernel: two 4-lane FMLA
+// accumulators over 8-element blocks, a lane-ordered horizontal sum
+// (V0[0..3] then V1[0..3]), then a scalar-FMA tail. Like the AVX2 port,
+// results may differ from the scalar kernels by normal float32 rounding
+// (fused contractions, different lane split); equivalence_test.go bounds
+// the divergence on both architectures.
+//
+// The Go assembler has no mnemonic for the vector FSUB, so the two
+// subtractions in sqL2NEON are WORD-encoded (FSUB Vd.4S, Vn.4S, Vm.4S =
+// 0x4EA0D400 | Rm<<16 | Rn<<5 | Rd); the comments carry the decoding and
+// CI disassembles the object to keep them honest.
+
+#include "textflag.h"
+
+// func dotNEON(a, b []float32) float32
+TEXT ·dotNEON(SB), NOSPLIT, $0-52
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R1
+	MOVD a_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $3, R2, R3            // 8-element blocks
+	CBZ  R3, dotreduce
+dot8:
+	VLD1.P 32(R0), [V2.S4, V3.S4]
+	VLD1.P 32(R1), [V4.S4, V5.S4]
+	VFMLA V4.S4, V2.S4, V0.S4  // V0 += a[0:4] * b[0:4]
+	VFMLA V5.S4, V3.S4, V1.S4  // V1 += a[4:8] * b[4:8]
+	SUB  $1, R3, R3
+	CBNZ R3, dot8
+dotreduce:
+	// Lane-ordered horizontal sum into F0 (= V0.S[0]). V1's lanes are
+	// pulled into GPRs first so F1..F3 are free as scratch.
+	VMOV V0.S[1], R4
+	VMOV V0.S[2], R5
+	VMOV V0.S[3], R6
+	VMOV V1.S[0], R7
+	VMOV V1.S[1], R8
+	VMOV V1.S[2], R9
+	VMOV V1.S[3], R10
+	FMOVS R4, F1
+	FADDS F1, F0, F0
+	FMOVS R5, F1
+	FADDS F1, F0, F0
+	FMOVS R6, F1
+	FADDS F1, F0, F0
+	FMOVS R7, F1
+	FADDS F1, F0, F0
+	FMOVS R8, F1
+	FADDS F1, F0, F0
+	FMOVS R9, F1
+	FADDS F1, F0, F0
+	FMOVS R10, F1
+	FADDS F1, F0, F0
+	AND  $7, R2, R3
+	CBZ  R3, dotdone
+dottail:
+	FMOVS.P 4(R0), F2
+	FMOVS.P 4(R1), F3
+	FMADDS F2, F0, F3, F0      // F0 = F0 + F3*F2
+	SUB  $1, R3, R3
+	CBNZ R3, dottail
+dotdone:
+	FMOVS F0, ret+48(FP)
+	RET
+
+// func sqL2NEON(a, b []float32) float32
+TEXT ·sqL2NEON(SB), NOSPLIT, $0-52
+	MOVD a_base+0(FP), R0
+	MOVD b_base+24(FP), R1
+	MOVD a_len+8(FP), R2
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	LSR  $3, R2, R3
+	CBZ  R3, sqreduce
+sq8:
+	VLD1.P 32(R0), [V2.S4, V3.S4]
+	VLD1.P 32(R1), [V4.S4, V5.S4]
+	WORD $0x4ea4d442           // FSUB V2.4S, V2.4S, V4.4S
+	WORD $0x4ea5d463           // FSUB V3.4S, V3.4S, V5.4S
+	VFMLA V2.S4, V2.S4, V0.S4  // V0 += d*d
+	VFMLA V3.S4, V3.S4, V1.S4
+	SUB  $1, R3, R3
+	CBNZ R3, sq8
+sqreduce:
+	VMOV V0.S[1], R4
+	VMOV V0.S[2], R5
+	VMOV V0.S[3], R6
+	VMOV V1.S[0], R7
+	VMOV V1.S[1], R8
+	VMOV V1.S[2], R9
+	VMOV V1.S[3], R10
+	FMOVS R4, F1
+	FADDS F1, F0, F0
+	FMOVS R5, F1
+	FADDS F1, F0, F0
+	FMOVS R6, F1
+	FADDS F1, F0, F0
+	FMOVS R7, F1
+	FADDS F1, F0, F0
+	FMOVS R8, F1
+	FADDS F1, F0, F0
+	FMOVS R9, F1
+	FADDS F1, F0, F0
+	FMOVS R10, F1
+	FADDS F1, F0, F0
+	AND  $7, R2, R3
+	CBZ  R3, sqdone
+sqtail:
+	FMOVS.P 4(R0), F2
+	FMOVS.P 4(R1), F3
+	FSUBS F3, F2, F2           // F2 = a[i] - b[i]
+	FMADDS F2, F0, F2, F0      // F0 = F0 + F2*F2
+	SUB  $1, R3, R3
+	CBNZ R3, sqtail
+sqdone:
+	FMOVS F0, ret+48(FP)
+	RET
+
+// func axpyNEON(alpha float32, x, y []float32)
+TEXT ·axpyNEON(SB), NOSPLIT, $0-56
+	FMOVS alpha+0(FP), F6
+	VDUP V6.S[0], V6.S4
+	MOVD x_base+8(FP), R0
+	MOVD y_base+32(FP), R1
+	MOVD x_len+16(FP), R2
+	LSR  $3, R2, R3
+	CBZ  R3, axtail
+ax8:
+	VLD1.P 32(R0), [V2.S4, V3.S4]
+	VLD1 (R1), [V4.S4, V5.S4]
+	VFMLA V2.S4, V6.S4, V4.S4  // y += alpha * x
+	VFMLA V3.S4, V6.S4, V5.S4
+	VST1.P [V4.S4, V5.S4], 32(R1)
+	SUB  $1, R3, R3
+	CBNZ R3, ax8
+axtail:
+	AND  $7, R2, R3
+	CBZ  R3, axdone
+axtail1:
+	FMOVS.P 4(R0), F2
+	FMOVS (R1), F4
+	FMADDS F2, F4, F6, F4      // F4 = F4 + F6*F2
+	FMOVS.P F4, 4(R1)
+	SUB  $1, R3, R3
+	CBNZ R3, axtail1
+axdone:
+	RET

@@ -1,0 +1,81 @@
+package vecmath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Per-kernel microbenchmarks across the dimensions the serving and training
+// paths actually see (128 = SIFT, 512/1024 = modern embedding widths, 7/129
+// = odd tails, 8/64 = block-size boundaries), so scalar-vs-SIMD wins are
+// measurable in isolation from the engine:
+//
+//	go test ./internal/vecmath -bench . -benchmem
+//
+// Each kernel runs once per implementation (scalar + the architecture port
+// when present); sub-benchmark names carry impl and dimension. SetBytes
+// reports effective bandwidth (both operands).
+var benchDims = []int{7, 8, 64, 128, 129, 512, 1024}
+
+func benchImpls(b *testing.B) []kernels {
+	impls := []kernels{scalarKernels}
+	if arch, ok := archKernels(); ok {
+		impls = append(impls, arch)
+	} else {
+		b.Logf("no SIMD kernels on this architecture; benchmarking scalar only")
+	}
+	return impls
+}
+
+func BenchmarkDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	for _, impl := range benchImpls(b) {
+		for _, n := range benchDims {
+			x, y := randVec(rng, n), randVec(rng, n)
+			b.Run(fmt.Sprintf("%s/dim%d", impl.name, n), func(b *testing.B) {
+				b.SetBytes(int64(2 * 4 * n))
+				var s float32
+				for i := 0; i < b.N; i++ {
+					s += impl.dot(x, y)
+				}
+				sinkF32 = s
+			})
+		}
+	}
+}
+
+func BenchmarkSquaredL2(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	for _, impl := range benchImpls(b) {
+		for _, n := range benchDims {
+			x, y := randVec(rng, n), randVec(rng, n)
+			b.Run(fmt.Sprintf("%s/dim%d", impl.name, n), func(b *testing.B) {
+				b.SetBytes(int64(2 * 4 * n))
+				var s float32
+				for i := 0; i < b.N; i++ {
+					s += impl.sqL2(x, y)
+				}
+				sinkF32 = s
+			})
+		}
+	}
+}
+
+func BenchmarkAXPY(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	for _, impl := range benchImpls(b) {
+		for _, n := range benchDims {
+			x, y := randVec(rng, n), randVec(rng, n)
+			b.Run(fmt.Sprintf("%s/dim%d", impl.name, n), func(b *testing.B) {
+				b.SetBytes(int64(3 * 4 * n)) // read x, read+write y
+				for i := 0; i < b.N; i++ {
+					impl.axpy(0.37, x, y)
+				}
+			})
+		}
+	}
+}
+
+// sinkF32 defeats dead-code elimination of the benchmarked reductions.
+var sinkF32 float32

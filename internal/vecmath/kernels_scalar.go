@@ -1,0 +1,54 @@
+package vecmath
+
+// The portable kernel implementations. These are the universal fallback of
+// the dispatch layer (see dispatch.go) and the reference implementation the
+// SIMD ports are equivalence-tested against. The 4-way manual unrolling
+// compiles to reasonably tight scalar loops on every architecture, and the
+// fixed accumulator order makes results deterministic run to run.
+//
+// Contract shared by every implementation (scalar and assembly): the slices
+// have equal length (the public wrappers enforce it), results depend only on
+// the element values, and a length-0 input yields 0 / no-op.
+
+func dotScalar(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+func squaredL2Scalar(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+func axpyScalar(alpha float32, x, y []float32) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}

@@ -2,9 +2,13 @@
 // the library is built on: distances, dot products, in-place BLAS-1 style
 // updates, and small utilities (argmax, top-k selection).
 //
-// Kernels are written with 4-way manual unrolling, which the Go compiler
-// turns into reasonably tight scalar loops; accumulation is done in float32
-// with a float64 variant provided where reduction precision matters.
+// The three hot kernels — Dot, SquaredL2 and AXPY — dispatch through a
+// kernel set selected once at package init: AVX2+FMA assembly on capable
+// amd64 CPUs, NEON assembly on arm64, and the portable 4-way-unrolled scalar
+// code everywhere else (see dispatch.go). Setting USP_FORCE_SCALAR in the
+// environment pins the scalar kernels regardless of CPU features. All other
+// helpers are pure Go; float64 accumulation variants are provided where
+// reduction precision matters.
 package vecmath
 
 import "math"
@@ -13,43 +17,14 @@ import "math"
 // length; this is a programmer-error invariant on the hot path, enforced by
 // bounds checks rather than an explicit panic.
 func Dot(a, b []float32) float32 {
-	var s0, s1, s2, s3 float32
-	n := len(a)
-	b = b[:n] // eliminate bounds checks in the loop
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
-	}
-	for ; i < n; i++ {
-		s0 += a[i] * b[i]
-	}
-	return s0 + s1 + s2 + s3
+	b = b[:len(a)] // single bounds check; kernels assume equal length
+	return active.dot(a, b)
 }
 
 // SquaredL2 returns the squared Euclidean distance between a and b.
 func SquaredL2(a, b []float32) float32 {
-	var s0, s1, s2, s3 float32
-	n := len(a)
-	b = b[:n]
-	i := 0
-	for ; i+4 <= n; i += 4 {
-		d0 := a[i] - b[i]
-		d1 := a[i+1] - b[i+1]
-		d2 := a[i+2] - b[i+2]
-		d3 := a[i+3] - b[i+3]
-		s0 += d0 * d0
-		s1 += d1 * d1
-		s2 += d2 * d2
-		s3 += d3 * d3
-	}
-	for ; i < n; i++ {
-		d := a[i] - b[i]
-		s0 += d * d
-	}
-	return s0 + s1 + s2 + s3
+	b = b[:len(a)]
+	return active.sqL2(a, b)
 }
 
 // SquaredL2Fused returns the squared Euclidean distance between q and x via
@@ -79,22 +54,30 @@ func Norm(a []float32) float32 {
 }
 
 // Cosine returns the cosine distance 1 - <a,b>/(|a||b|). Zero vectors are
-// treated as maximally distant (distance 1).
+// treated as maximally distant (distance 1). All three reductions run
+// through the dispatched Dot kernel, and the result is clamped into the
+// mathematical range [0, 2]: float32 cancellation can push the raw value
+// marginally outside it for (anti-)parallel inputs, which would otherwise
+// leak tiny negative distances to callers.
 func Cosine(a, b []float32) float32 {
-	na, nb := Norm(a), Norm(b)
-	if na == 0 || nb == 0 {
+	na2, nb2 := Dot(a, a), Dot(b, b)
+	if na2 == 0 || nb2 == 0 {
 		return 1
 	}
-	return 1 - Dot(a, b)/(na*nb)
+	d := 1 - Dot(a, b)/float32(math.Sqrt(float64(na2)*float64(nb2)))
+	if d < 0 {
+		return 0
+	}
+	if d > 2 {
+		return 2
+	}
+	return d
 }
 
 // AXPY computes y += alpha*x in place.
 func AXPY(alpha float32, x, y []float32) {
-	n := len(x)
-	y = y[:n]
-	for i := 0; i < n; i++ {
-		y[i] += alpha * x[i]
-	}
+	y = y[:len(x)]
+	active.axpy(alpha, x, y)
 }
 
 // Scale multiplies every element of x by alpha in place.

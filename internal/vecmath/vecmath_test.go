@@ -82,6 +82,48 @@ func TestCosineBoundsAndZero(t *testing.T) {
 	}
 }
 
+// TestCosineClampRegression pins the [0, 2] clamp: for exactly (anti-)
+// parallel float32 inputs the raw expression 1 − <a,b>/(‖a‖‖b‖) can land
+// marginally outside the mathematical range through rounding in the dot
+// products, which used to leak tiny negative "distances" to callers. The
+// test also recomputes the unclamped value and asserts at least one trial
+// actually fell outside the range — so it genuinely exercises the clamp
+// rather than vacuously passing.
+func TestCosineClampRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sawOutside := false
+	for trial := 0; trial < 500; trial++ {
+		a := randVec(rng, 1+rng.Intn(200))
+		scale := float32(rng.NormFloat64() * 100)
+		if scale == 0 {
+			scale = 3
+		}
+		b := make([]float32, len(a))
+		for i := range a {
+			b[i] = a[i] * scale
+		}
+		d := Cosine(a, b)
+		if d < 0 || d > 2 {
+			t.Fatalf("trial %d: Cosine out of [0,2]: %v", trial, d)
+		}
+		wantNear := 0.0
+		if scale < 0 {
+			wantNear = 2.0
+		}
+		if !almostEq(float64(d), wantNear, 1e-5) {
+			t.Fatalf("trial %d: Cosine(a, %v*a) = %v, want ~%v", trial, scale, d, wantNear)
+		}
+		// Recompute without the clamp to prove the clamp is load-bearing.
+		raw := 1 - Dot(a, b)/float32(math.Sqrt(float64(Dot(a, a))*float64(Dot(b, b))))
+		if raw < 0 || raw > 2 {
+			sawOutside = true
+		}
+	}
+	if !sawOutside {
+		t.Fatal("no trial produced an out-of-range raw cosine; regression test lost its bite")
+	}
+}
+
 func TestAXPYScaleAddSub(t *testing.T) {
 	x := []float32{1, 2, 3}
 	y := []float32{10, 20, 30}
