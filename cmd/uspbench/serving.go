@@ -13,6 +13,7 @@ import (
 	usp "repro"
 	"repro/internal/dataset"
 	"repro/internal/knn"
+	"repro/internal/telemetry"
 	"repro/internal/vecmath"
 )
 
@@ -35,6 +36,13 @@ type servingBench struct {
 	BuildSeconds float64 `json:"build_seconds"`
 	// QPSSingle is one goroutine issuing Searcher.SearchInto in a loop.
 	QPSSingle float64 `json:"qps_single"`
+	// LatencyP50Us/P95/P99 are per-query latency percentiles of the
+	// single-goroutine run, extracted from the same log-bucketed telemetry
+	// histogram the serving path exports on /metrics (≤ 6.25% bucket
+	// quantization), in microseconds.
+	LatencyP50Us float64 `json:"latency_p50_us"`
+	LatencyP95Us float64 `json:"latency_p95_us"`
+	LatencyP99Us float64 `json:"latency_p99_us"`
 	// QPSBatch is Index.SearchBatch over the whole query set.
 	QPSBatch float64 `json:"qps_batch"`
 	// Recall10 is recall@10 of the probed configuration vs exact search.
@@ -56,6 +64,10 @@ type scalingPoint struct {
 	GoMaxProcs int     `json:"gomaxprocs"`
 	Clients    int     `json:"clients"`
 	QPS        float64 `json:"qps"`
+	// P99Us is the per-query p99 under concurrency, in microseconds: each
+	// client records into its own histogram (contention-free) and the
+	// coordinator merges them — the telemetry layer's fan-in pattern.
+	P99Us float64 `json:"p99_us"`
 }
 
 // servingBenchConfig carries the overridable knobs of the serving benchmark;
@@ -132,14 +144,20 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		dst, _ = s.SearchInto(dst[:0], qrows[0], k, opt)
 	})
 
-	// Single-goroutine QPS.
+	// Single-goroutine QPS, with per-query latency recorded into the same
+	// log-bucketed histogram the serving path exports — percentiles come
+	// from telemetry.Quantile instead of sorting a sample array, so the
+	// bench exercises exactly the estimator operators will read.
 	const rounds = 8
+	lat := telemetry.NewHistogram("bench_query_latency_seconds", "", "", telemetry.NanosToSeconds)
 	start = time.Now()
 	for r := 0; r < rounds; r++ {
 		for _, q := range qrows {
+			qStart := time.Now()
 			if dst, err = s.SearchInto(dst[:0], q, k, opt); err != nil {
 				return err
 			}
+			lat.ObserveDuration(time.Since(qStart))
 		}
 	}
 	qpsSingle := float64(rounds*len(qrows)) / time.Since(start).Seconds()
@@ -161,12 +179,12 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 	for _, procs := range []int{1, 4, 16} {
 		logf("serving bench: scaling point GOMAXPROCS=%d...", procs)
 		runtime.GOMAXPROCS(procs)
-		qps, err := concurrentQPS(ix, qrows, k, opt, procs)
+		qps, p99us, err := concurrentQPS(ix, qrows, k, opt, procs)
 		if err != nil {
 			runtime.GOMAXPROCS(prevProcs)
 			return err
 		}
-		scaling = append(scaling, scalingPoint{GoMaxProcs: procs, Clients: procs, QPS: qps})
+		scaling = append(scaling, scalingPoint{GoMaxProcs: procs, Clients: procs, QPS: qps, P99Us: p99us})
 	}
 	runtime.GOMAXPROCS(prevProcs)
 
@@ -182,6 +200,9 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		Probes:        probes,
 		BuildSeconds:  buildSecs,
 		QPSSingle:     qpsSingle,
+		LatencyP50Us:  lat.Quantile(0.50) / 1e3,
+		LatencyP95Us:  lat.Quantile(0.95) / 1e3,
+		LatencyP99Us:  lat.Quantile(0.99) / 1e3,
 		QPSBatch:      qpsBatch,
 		Recall10:      recall,
 		AllocsPerOp:   allocs,
@@ -196,47 +217,62 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("serving bench: kernel=%s qps_single=%.0f qps_batch=%.0f recall@10=%.3f allocs/op=%.1f → %s\n",
-		vecmath.Impl(), qpsSingle, qpsBatch, recall, allocs, path)
+	fmt.Printf("serving bench: kernel=%s qps_single=%.0f p50=%.1fus p95=%.1fus p99=%.1fus qps_batch=%.0f recall@10=%.3f allocs/op=%.1f → %s\n",
+		vecmath.Impl(), qpsSingle, rep.LatencyP50Us, rep.LatencyP95Us, rep.LatencyP99Us, qpsBatch, recall, allocs, path)
 	for _, sp := range scaling {
-		fmt.Printf("  scaling: gomaxprocs=%-2d clients=%-2d qps=%.0f\n", sp.GoMaxProcs, sp.Clients, sp.QPS)
+		fmt.Printf("  scaling: gomaxprocs=%-2d clients=%-2d qps=%.0f p99=%.1fus\n", sp.GoMaxProcs, sp.Clients, sp.QPS, sp.P99Us)
 	}
 	return nil
 }
 
-// concurrentQPS measures aggregate throughput with the given number of
-// client goroutines, each on its own Searcher, running a fixed number of
-// passes over the query set.
-func concurrentQPS(ix *usp.Index, qrows [][]float32, k int, opt usp.SearchOptions, clients int) (float64, error) {
+// concurrentQPS measures aggregate throughput and per-query p99 latency
+// with the given number of client goroutines, each on its own Searcher and
+// its own latency histogram (no cross-client contention on the buckets),
+// running a fixed number of passes over the query set. The per-client
+// histograms merge into one for the percentile — the same fan-in a sharded
+// serving tier would use.
+func concurrentQPS(ix *usp.Index, qrows [][]float32, k int, opt usp.SearchOptions, clients int) (float64, float64, error) {
 	const rounds = 4
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
 	)
+	hists := make([]*telemetry.Histogram, clients)
+	for c := range hists {
+		hists[c] = telemetry.NewHistogram("bench_client_latency_seconds", "", "", telemetry.NanosToSeconds)
+	}
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			s := ix.NewSearcher()
+			lat := hists[c]
 			dst := make([]usp.Result, 0, k)
 			off := c * 17 % len(qrows)
 			for r := 0; r < rounds; r++ {
 				for qi := range qrows {
+					qStart := time.Now()
 					var err error
 					dst, err = s.SearchInto(dst[:0], qrows[(qi+off)%len(qrows)], k, opt)
 					if err != nil {
 						errOnce.Do(func() { firstErr = err })
 						return
 					}
+					lat.ObserveDuration(time.Since(qStart))
 				}
 			}
 		}(c)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return 0, firstErr
+		return 0, 0, firstErr
 	}
-	return float64(clients*rounds*len(qrows)) / time.Since(start).Seconds(), nil
+	qps := float64(clients*rounds*len(qrows)) / time.Since(start).Seconds()
+	merged := hists[0]
+	for _, h := range hists[1:] {
+		merged.Merge(h)
+	}
+	return qps, merged.Quantile(0.99) / 1e3, nil
 }

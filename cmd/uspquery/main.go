@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/knn"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -71,22 +72,30 @@ func serveSnapshot(path string, queries *dataset.Dataset, k, probes int, union b
 	opt := usp.SearchOptions{Probes: probes, UnionEnsemble: union}
 	s := ix.NewSearcher()
 	dst := make([]usp.Result, 0, k)
+	lat := newLatencyHist()
 	start = time.Now()
-	totalCands := 0
+	totalCands, totalSkipped := 0, 0
 	for qi := 0; qi < queries.N; qi++ {
 		q := queries.Row(qi)
+		qStart := time.Now()
 		dst, err = s.SearchInto(dst[:0], q, k, opt)
 		if err != nil {
 			log.Fatalf("query %d: %v", qi, err)
 		}
+		lat.ObserveDuration(time.Since(qStart))
 		totalCands += s.Scanned()
+		totalSkipped += s.Skipped()
 		fmt.Printf("q%d:", qi)
 		for _, r := range dst {
 			fmt.Printf(" %d:%.4f", r.ID, r.Distance)
 		}
 		fmt.Println()
 	}
-	reportTiming(queries.N, totalCands, time.Since(start))
+	reportTiming(queries.N, totalCands, time.Since(start), lat)
+	if totalSkipped > 0 {
+		fmt.Fprintf(os.Stderr, "tombstones skipped: %d (%.1f/query) — compaction would reclaim this scan work\n",
+			totalSkipped, float64(totalSkipped)/float64(queries.N))
+	}
 }
 
 // serveLegacy preserves the original pipeline for model-only index files.
@@ -114,25 +123,36 @@ func serveLegacy(indexPath, dataPath string, queries *dataset.Dataset, k, probes
 		}
 		return ens.CandidatesWith(&qs, q, probes, mode)
 	}
+	lat := newLatencyHist()
 	start := time.Now()
 	totalCands := 0
 	for qi := 0; qi < queries.N; qi++ {
 		q := queries.Row(qi)
+		qStart := time.Now()
 		cands := candidates(q)
 		totalCands += len(cands)
 		ns := knn.SearchSubset(ds, cands, q, k)
+		lat.ObserveDuration(time.Since(qStart))
 		fmt.Printf("q%d:", qi)
 		for _, n := range ns {
 			fmt.Printf(" %d:%.4f", n.Index, n.Dist)
 		}
 		fmt.Println()
 	}
-	reportTiming(queries.N, totalCands, time.Since(start))
+	reportTiming(queries.N, totalCands, time.Since(start), lat)
 }
 
-func reportTiming(n, totalCands int, elapsed time.Duration) {
-	fmt.Fprintf(os.Stderr, "%d queries in %s (%.1f us/query, avg |C| %.1f)\n",
+func newLatencyHist() *telemetry.Histogram {
+	return telemetry.NewHistogram("uspquery_latency_seconds", "", "", telemetry.NanosToSeconds)
+}
+
+// reportTiming prints the per-query stats summary: throughput, the latency
+// percentiles extracted from the telemetry histogram (the same estimator
+// the serving path exports on /metrics), and candidate volume.
+func reportTiming(n, totalCands int, elapsed time.Duration, lat *telemetry.Histogram) {
+	fmt.Fprintf(os.Stderr, "%d queries in %s (%.1f us/query, p50 %.1f us, p95 %.1f us, p99 %.1f us, avg |C| %.1f)\n",
 		n, elapsed.Round(time.Millisecond),
 		float64(elapsed.Nanoseconds())/float64(n)/1e3,
+		lat.Quantile(0.50)/1e3, lat.Quantile(0.95)/1e3, lat.Quantile(0.99)/1e3,
 		float64(totalCands)/float64(n))
 }

@@ -12,8 +12,19 @@
 // mutations into fresh tables, and /save streams a self-contained snapshot
 // to disk without pausing traffic.
 //
+// Observability rides the zero-dependency internal/telemetry layer: every
+// endpoint is wrapped in per-endpoint request/error/latency middleware,
+// /metrics exposes those alongside the index's own query and lifecycle
+// series as Prometheus text (?format=json for a JSON snapshot), /healthz
+// reports index readiness and epoch age, and -pprof mounts the standard
+// net/http/pprof profiling handlers under /debug/pprof/. Shutdown is
+// graceful: SIGINT/SIGTERM stops accepting connections and drains in-flight
+// requests before exiting.
+//
 //	go run ./examples/server -addr :8080
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics
 //	curl -s -X POST localhost:8080/search \
 //	     -d '{"vector": [ ...64 floats... ], "k": 5, "probes": 2}'
 //	curl -s -X POST localhost:8080/search/batch \
@@ -29,21 +40,27 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	usp "repro"
 	"repro/internal/dataset"
+	"repro/internal/telemetry"
 )
 
 type searchRequest struct {
@@ -97,6 +114,16 @@ type saveResponse struct {
 	Elapsed string `json:"elapsed"`
 }
 
+type healthzResponse struct {
+	Status          string  `json:"status"`
+	IndexLoaded     bool    `json:"index_loaded"`
+	Vectors         int     `json:"vectors"`
+	Dim             int     `json:"dim"`
+	Epoch           uint64  `json:"epoch"`
+	EpochAgeSeconds float64 `json:"epoch_age_seconds"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+}
+
 type server struct {
 	ix *usp.Index
 	// saveDir confines /save: snapshot paths are resolved relative to it
@@ -107,12 +134,58 @@ type server struct {
 	// the scratch buffers of one in-flight query, so steady-state request
 	// handling does not allocate on the search path.
 	searchers sync.Pool
+	// reg holds the server's own HTTP metrics; /metrics exposes it together
+	// with the index's registry (query + lifecycle series).
+	reg     *telemetry.Registry
+	started time.Time
 }
 
 func newServer(ix *usp.Index, saveDir string) *server {
-	s := &server{ix: ix, saveDir: saveDir}
+	s := &server{ix: ix, saveDir: saveDir, reg: telemetry.NewRegistry(), started: time.Now()}
 	s.searchers.New = func() any { return ix.NewSearcher() }
 	return s
+}
+
+// mux assembles the routing table: every application endpoint behind the
+// per-endpoint metrics middleware, plus the observability endpoints
+// (/metrics, /healthz, and optionally /debug/pprof/) which are served
+// unwrapped so scrapes don't pollute the request metrics they read.
+func (s *server) mux(withPprof bool) *http.ServeMux {
+	hm := telemetry.NewHTTPMetrics(s.reg)
+	mux := http.NewServeMux()
+	for path, h := range map[string]http.HandlerFunc{
+		"/search":       s.handleSearch,
+		"/search/batch": s.handleSearchBatch,
+		"/add":          s.handleAdd,
+		"/delete":       s.handleDelete,
+		"/compact":      s.handleCompact,
+		"/save":         s.handleSave,
+		"/stats":        s.handleStats,
+	} {
+		mux.HandleFunc(path, hm.Wrap(path, h))
+	}
+	mux.Handle("/metrics", telemetry.Handler(s.reg, s.ix.Telemetry()))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, healthzResponse{
+		Status:          "ok",
+		IndexLoaded:     true,
+		Vectors:         s.ix.Len(),
+		Dim:             s.ix.Dim(),
+		Epoch:           s.ix.Lifecycle().Epoch,
+		EpochAgeSeconds: s.ix.EpochAge().Seconds(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+	})
 }
 
 func defaulted(k, probes int) (int, int) {
@@ -287,6 +360,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	indexPath := flag.String("index", "", "serve this snapshot instead of training a demo corpus")
 	saveDir := flag.String("save-dir", ".", "directory /save snapshots are confined to")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	demo := flag.Bool("demo", false, "self-test: start, query, exit")
 	flag.Parse()
 
@@ -326,24 +400,39 @@ func main() {
 	}
 	s := newServer(ix, *saveDir)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/search", s.handleSearch)
-	mux.HandleFunc("/search/batch", s.handleSearchBatch)
-	mux.HandleFunc("/add", s.handleAdd)
-	mux.HandleFunc("/delete", s.handleDelete)
-	mux.HandleFunc("/compact", s.handleCompact)
-	mux.HandleFunc("/save", s.handleSave)
-	mux.HandleFunc("/stats", s.handleStats)
-
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("serving on %s", ln.Addr())
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{
+		Handler:           s.mux(*withPprof),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	if !*demo {
-		log.Fatal(srv.Serve(ln))
+		// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
+		// drains in-flight requests (queries resolve their epoch and finish)
+		// instead of killing them mid-response.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		errc := make(chan error, 1)
+		go func() { errc <- srv.Serve(ln) }()
+		select {
+		case err := <-errc:
+			log.Fatal(err)
+		case <-ctx.Done():
+			stop()
+			log.Printf("signal received; draining in-flight requests...")
+			sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				log.Fatalf("shutdown: %v", err)
+			}
+			log.Printf("drained; bye")
+			return
+		}
 	}
 	if corpus == nil {
 		log.Fatal("-demo requires the built-in training corpus (omit -index)")
@@ -450,6 +539,55 @@ func main() {
 	if r2.StatusCode != http.StatusBadRequest {
 		log.Fatalf("escaping /save path not rejected: HTTP %d", r2.StatusCode)
 	}
+
+	// Health: the index is loaded and the epoch is fresh (the mutations
+	// above republished it moments ago).
+	r3, err := http.Get(base + "/healthz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(r3.Body).Decode(&hz); err != nil {
+		log.Fatal(err)
+	}
+	r3.Body.Close()
+	fmt.Printf("healthz: status=%s epoch=%d age=%.3fs\n", hz.Status, hz.Epoch, hz.EpochAgeSeconds)
+	if hz.Status != "ok" || !hz.IndexLoaded || hz.Epoch == 0 || hz.EpochAgeSeconds > 60 {
+		log.Fatalf("healthz demo self-check failed: %+v", hz)
+	}
+
+	// Metrics: the scrape must carry the core query, lifecycle, and HTTP
+	// series, with samples from the traffic just generated.
+	r4, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	promText, err := io.ReadAll(r4.Body)
+	r4.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, series := range []string{
+		"usp_query_latency_seconds_bucket",
+		"usp_query_latency_seconds_count",
+		"usp_query_candidates_total",
+		"usp_query_bins_probed_total",
+		"usp_query_tombstones_skipped_total",
+		"usp_adds_total 1",
+		"usp_deletes_total 1",
+		"usp_epoch_publishes_total",
+		"usp_compactions_total 1",
+		"usp_compaction_latency_seconds_count 1",
+		"usp_epoch ",
+		"usp_live_vectors",
+		`http_requests_total{endpoint="/search"}`,
+		`http_request_latency_seconds_bucket{endpoint="/search",le="+Inf"}`,
+	} {
+		if !strings.Contains(string(promText), series) {
+			log.Fatalf("metrics demo self-check failed: %q missing from scrape:\n%s", series, promText)
+		}
+	}
+	fmt.Printf("metrics: %d bytes of Prometheus text, core series present\n", len(promText))
 
 	fmt.Println("demo OK")
 	_ = srv.Close()

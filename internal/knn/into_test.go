@@ -121,6 +121,51 @@ func TestSearchSubsetIntoSkipsTombstones(t *testing.T) {
 	}
 }
 
+// TestSearchSubsetIntoCountedSkipAccounting: the counted variant must
+// report exactly the number of subset entries present in the skip set
+// (duplicates counted per occurrence), on both kernel paths, and zero when
+// no skip set is given.
+func TestSearchSubsetIntoCountedSkipAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	base := dataset.Uniform(200, 8, rng)
+	for _, withNorms := range []bool{false, true} {
+		if withNorms {
+			base.EnsureSqNorms(true)
+		} else {
+			base.SqNorms = nil
+		}
+		tk := vecmath.NewTopK(1)
+		for trial := 0; trial < 20; trial++ {
+			var skip *bitset.Set
+			for i := 0; i < base.N; i++ {
+				if rng.Float64() < 0.25 {
+					skip = skip.With(i)
+				}
+			}
+			// Subset with duplicates: each occurrence of a tombstoned id is
+			// separately gathered work, so each occurrence counts.
+			subset := make([]int32, 0, 300)
+			wantSkipped := 0
+			for j := 0; j < 300; j++ {
+				id := rng.Intn(base.N)
+				subset = append(subset, int32(id))
+				if skip.Has(id) {
+					wantSkipped++
+				}
+			}
+			q := base.Row(rng.Intn(base.N))
+			_, skipped := SearchSubsetIntoCounted(nil, base, subset, q, 5, tk, skip)
+			if skipped != wantSkipped {
+				t.Fatalf("norms=%v trial %d: skipped %d, want %d", withNorms, trial, skipped, wantSkipped)
+			}
+			_, skipped = SearchSubsetIntoCounted(nil, base, subset, q, 5, tk, nil)
+			if skipped != 0 {
+				t.Fatalf("norms=%v trial %d: nil skip set reported %d skipped", withNorms, trial, skipped)
+			}
+		}
+	}
+}
+
 func TestSearchSubsetIntoAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	base := dataset.Uniform(500, 32, rng)

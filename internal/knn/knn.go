@@ -48,12 +48,24 @@ func SearchSubset(base *dataset.Dataset, subset []int, query []float32, k int) [
 // indexes that actually carry tombstones. Steady-state the call allocates
 // nothing beyond growth of dst.
 func SearchSubsetInto(dst []vecmath.Neighbor, base *dataset.Dataset, subset []int32, query []float32, k int, tk *vecmath.TopK, skip *bitset.Set) []vecmath.Neighbor {
+	dst, _ = SearchSubsetIntoCounted(dst, base, subset, query, k, tk, skip)
+	return dst
+}
+
+// SearchSubsetIntoCounted is SearchSubsetInto plus accounting: it also
+// returns how many candidate ids the tombstone filter dropped — the waste
+// metric telemetry tracks to decide when pending deletes warrant a
+// compaction. The count costs one increment on the (already-branching)
+// skip path only; the tombstone-free fast paths are unchanged.
+func SearchSubsetIntoCounted(dst []vecmath.Neighbor, base *dataset.Dataset, subset []int32, query []float32, k int, tk *vecmath.TopK, skip *bitset.Set) ([]vecmath.Neighbor, int) {
 	tk.SetK(k)
+	skipped := 0
 	switch {
 	case base.SqNorms != nil && skip.Count() > 0:
 		qNorm := vecmath.Dot(query, query)
 		for _, i := range subset {
 			if skip.Has(int(i)) {
+				skipped++
 				continue
 			}
 			tk.Push(int(i), vecmath.SquaredL2Fused(query, base.Row(int(i)), qNorm, base.SqNorms[i]))
@@ -66,6 +78,7 @@ func SearchSubsetInto(dst []vecmath.Neighbor, base *dataset.Dataset, subset []in
 	case skip.Count() > 0:
 		for _, i := range subset {
 			if skip.Has(int(i)) {
+				skipped++
 				continue
 			}
 			tk.Push(int(i), vecmath.SquaredL2(query, base.Row(int(i))))
@@ -75,7 +88,7 @@ func SearchSubsetInto(dst []vecmath.Neighbor, base *dataset.Dataset, subset []in
 			tk.Push(int(i), vecmath.SquaredL2(query, base.Row(int(i))))
 		}
 	}
-	return tk.AppendSorted(dst)
+	return tk.AppendSorted(dst), skipped
 }
 
 // Matrix is the k′-NN matrix of §4.2.1: row i lists the indices of the k′

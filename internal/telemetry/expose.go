@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// appendSample appends one Prometheus text-format sample line:
+// name{labels} value\n.
+func appendSample(b []byte, name, labels, value string) []byte {
+	b = append(b, name...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = append(b, value...)
+	return append(b, '\n')
+}
+
+// joinLabels combines two raw label-pair strings, either possibly empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	default:
+		return a + "," + b
+	}
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// appendEscaped appends s with the Prometheus HELP escapes (backslash and
+// newline) applied.
+func appendEscaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+// AppendPrometheus renders every metric of the given registries in
+// Prometheus text exposition format (version 0.0.4), grouped by family with
+// one HELP/TYPE header each, families sorted by name. Registries are
+// rendered in argument order; families must not span registries.
+func AppendPrometheus(b []byte, regs ...*Registry) []byte {
+	for _, r := range regs {
+		prevFamily := ""
+		for _, m := range r.snapshot() {
+			d := m.meta()
+			if d.name != prevFamily {
+				prevFamily = d.name
+				if d.help != "" {
+					b = append(b, "# HELP "...)
+					b = append(b, d.name...)
+					b = append(b, ' ')
+					b = appendEscaped(b, d.help)
+					b = append(b, '\n')
+				}
+				b = append(b, "# TYPE "...)
+				b = append(b, d.name...)
+				b = append(b, ' ')
+				b = append(b, m.kind()...)
+				b = append(b, '\n')
+			}
+			b = m.writeSamples(b)
+		}
+	}
+	return b
+}
+
+// WritePrometheus writes the Prometheus text exposition of the given
+// registries to w.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	_, err := w.Write(AppendPrometheus(nil, regs...))
+	return err
+}
+
+// JSONSnapshot returns every metric as a flat name{labels} → value map:
+// counters as integers, gauges as floats, histograms as
+// {count, sum, p50, p95, p99} objects in exported units.
+func JSONSnapshot(regs ...*Registry) map[string]any {
+	out := make(map[string]any)
+	for _, r := range regs {
+		for _, m := range r.snapshot() {
+			out[m.meta().key()] = m.jsonValue()
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the JSONSnapshot of the given registries to w.
+func WriteJSON(w io.Writer, regs ...*Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(JSONSnapshot(regs...))
+}
+
+// Method forms of the exposition helpers. Code outside this module receives
+// a *Registry from usp.Index.Telemetry() but cannot import this internal
+// package to call the package-level functions; exported methods remain
+// callable on the returned value.
+
+// WritePrometheus writes this registry's Prometheus text exposition to w.
+func (r *Registry) WritePrometheus(w io.Writer) error { return WritePrometheus(w, r) }
+
+// JSON returns this registry's metrics as a flat name{labels} → value map.
+func (r *Registry) JSON() map[string]any { return JSONSnapshot(r) }

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the metrics of the given
+// registries: Prometheus text by default, the JSON snapshot with
+// ?format=json. Mount it at /metrics.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, regs...)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, regs...)
+	})
+}
+
+// HTTPMetrics instruments HTTP endpoints with per-endpoint request counts,
+// error counts (status ≥ 400), and a latency histogram, all registered in
+// one Registry under an `endpoint` label.
+type HTTPMetrics struct {
+	reg *Registry
+}
+
+// NewHTTPMetrics returns middleware registering into reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics { return &HTTPMetrics{reg: reg} }
+
+// Wrap instruments next under the given endpoint label. Metrics register at
+// wrap time (setup path); per-request recording is a few atomic adds plus
+// one small allocation for the status-capturing writer — request handling
+// is not the zero-allocation discipline's hot path, the query engine is.
+func (hm *HTTPMetrics) Wrap(endpoint string, next http.HandlerFunc) http.HandlerFunc {
+	labels := `endpoint="` + endpoint + `"`
+	reqs := hm.reg.Counter("http_requests_total", labels,
+		"HTTP requests served, by endpoint.")
+	errs := hm.reg.Counter("http_request_errors_total", labels,
+		"HTTP responses with status >= 400, by endpoint.")
+	lat := hm.reg.Histogram("http_request_latency_seconds", labels,
+		"HTTP request handling latency, by endpoint.", NanosToSeconds)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next(sw, r)
+		reqs.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+		lat.ObserveDuration(time.Since(start))
+	}
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}

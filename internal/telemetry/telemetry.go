@@ -1,0 +1,208 @@
+// Package telemetry is the repository's zero-dependency observability core:
+// atomic counters and gauges, lock-free log-bucketed latency histograms, and
+// a named registry with Prometheus-text and JSON exposition.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path recording (Counter.Add, Histogram.Observe) must be
+//     allocation-free and lock-free — one or two uncontended atomic adds —
+//     so the zero-allocation query engine can be instrumented without
+//     giving up its 0 allocs/op steady state.
+//  2. No dependencies beyond the standard library. The exposition formats
+//     are simple enough to emit by hand, and pulling a metrics client into
+//     an ANN engine would invert the dependency weight of the project.
+//  3. Reads (exposition, quantile extraction) may be approximate under
+//     concurrent writes — per-bucket atomic loads can interleave with
+//     recording — but must never block writers. Monitoring wants recency,
+//     not serializability.
+//
+// Registration (Registry.Counter, .Gauge, .GaugeFunc, .Histogram) is
+// get-or-create by (name, labels) and takes a mutex; do it at setup time,
+// hold the returned pointer, and record through the pointer on the hot path.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// NanosToSeconds is the exposition scale for histograms and sums recorded
+// in nanoseconds (time.Duration units) but exported in Prometheus' base
+// unit, seconds.
+const NanosToSeconds = 1e-9
+
+// desc is the identity and metadata of one metric.
+type desc struct {
+	name   string // metric family name, e.g. "usp_queries_total"
+	labels string // raw label pairs, e.g. `endpoint="/search"`, or ""
+	help   string
+}
+
+// key is the registry identity: family name plus the exact label set.
+func (d desc) key() string {
+	if d.labels == "" {
+		return d.name
+	}
+	return d.name + "{" + d.labels + "}"
+}
+
+// metric is the set of concrete types a Registry holds. The methods are
+// unexported: exposition logic lives in this package.
+type metric interface {
+	meta() desc
+	kind() string // Prometheus TYPE: "counter", "gauge", "histogram"
+	// writeSamples appends this metric's sample lines (no HELP/TYPE
+	// comments) to b in Prometheus text format.
+	writeSamples(b []byte) []byte
+	// jsonValue returns the metric's value for the JSON exposition.
+	jsonValue() any
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	d desc
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) meta() desc   { return c.d }
+func (c *Counter) kind() string { return "counter" }
+
+func (c *Counter) writeSamples(b []byte) []byte {
+	return appendSample(b, c.d.name, c.d.labels, formatUint(c.v.Load()))
+}
+
+func (c *Counter) jsonValue() any { return c.v.Load() }
+
+// Gauge is a settable value.
+type Gauge struct {
+	d desc
+	v atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the stored value (0 before the first Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
+func (g *Gauge) meta() desc   { return g.d }
+func (g *Gauge) kind() string { return "gauge" }
+
+func (g *Gauge) writeSamples(b []byte) []byte {
+	return appendSample(b, g.d.name, g.d.labels, formatFloat(g.Value()))
+}
+
+func (g *Gauge) jsonValue() any { return g.Value() }
+
+// GaugeFunc is a gauge whose value is polled at exposition time — the shape
+// for values the instrumented system already maintains (lifecycle counts,
+// epoch age) where a write-through gauge would duplicate state. fn must be
+// safe to call concurrently with anything.
+type GaugeFunc struct {
+	d  desc
+	fn func() float64
+}
+
+// Value polls the function.
+func (g *GaugeFunc) Value() float64 { return g.fn() }
+
+func (g *GaugeFunc) meta() desc   { return g.d }
+func (g *GaugeFunc) kind() string { return "gauge" }
+
+func (g *GaugeFunc) writeSamples(b []byte) []byte {
+	return appendSample(b, g.d.name, g.d.labels, formatFloat(g.fn()))
+}
+
+func (g *GaugeFunc) jsonValue() any { return g.fn() }
+
+// Registry is a named collection of metrics. Registration is get-or-create
+// and mutex-guarded; recording through the returned pointers is lock-free.
+type Registry struct {
+	mu      sync.RWMutex
+	byKey   map[string]metric
+	metrics []metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]metric)}
+}
+
+// getOrCreate returns the metric registered under d's key, or registers the
+// one built by mk. A key registered as a different concrete type panics:
+// that is a programming error, not a runtime condition.
+func getOrCreate[M metric](r *Registry, d desc, mk func() M) M {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[d.key()]; ok {
+		typed, ok := m.(M)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: %s already registered as %s", d.key(), m.kind()))
+		}
+		return typed
+	}
+	m := mk()
+	r.byKey[d.key()] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use. labels is a raw Prometheus label-pair string such as
+// `endpoint="/search"`, or "" for none.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	d := desc{name: name, labels: labels, help: help}
+	return getOrCreate(r, d, func() *Counter { return &Counter{d: d} })
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it on
+// first use.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	d := desc{name: name, labels: labels, help: help}
+	return getOrCreate(r, d, func() *Gauge { return &Gauge{d: d} })
+}
+
+// GaugeFunc registers a polled gauge under (name, labels). Re-registering
+// the same key keeps the first function.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) *GaugeFunc {
+	d := desc{name: name, labels: labels, help: help}
+	return getOrCreate(r, d, func() *GaugeFunc { return &GaugeFunc{d: d, fn: fn} })
+}
+
+// Histogram returns the histogram registered under (name, labels), creating
+// it on first use. scale converts recorded units to exported units (use
+// NanosToSeconds for durations recorded via ObserveDuration).
+func (r *Registry) Histogram(name, labels, help string, scale float64) *Histogram {
+	d := desc{name: name, labels: labels, help: help}
+	return getOrCreate(r, d, func() *Histogram { return newHistogram(d, scale) })
+}
+
+// snapshot returns the registered metrics sorted by (name, labels) — the
+// order exposition emits, which keeps families contiguous so HELP/TYPE
+// headers are emitted exactly once each.
+func (r *Registry) snapshot() []metric {
+	r.mu.RLock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool {
+		di, dj := ms[i].meta(), ms[j].meta()
+		if di.name != dj.name {
+			return di.name < dj.name
+		}
+		return di.labels < dj.labels
+	})
+	return ms
+}

@@ -1,0 +1,256 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", `a="b"`, "help")
+	c2 := r.Counter("x_total", `a="b"`, "help")
+	if c1 != c2 {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	c3 := r.Counter("x_total", `a="c"`, "help")
+	if c3 == c1 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a key as a different kind did not panic")
+		}
+	}()
+	r.Gauge("x_total", `a="b"`, "help")
+}
+
+// promLine matches one valid Prometheus text-format line: a comment or
+// name{labels} value.
+var promLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+` +
+		`|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9eE.+\-]+|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \+Inf)$`)
+
+// validatePrometheus asserts every line is well-formed and that each family
+// has exactly one TYPE header appearing before its samples.
+func validatePrometheus(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if typed[name] {
+				t.Fatalf("duplicate TYPE for %s", name)
+			}
+			typed[name] = true
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "", "Requests.").Add(7)
+	r.Counter("t_requests_by_total", `endpoint="/a"`, "By endpoint.").Add(3)
+	r.Counter("t_requests_by_total", `endpoint="/b"`, "By endpoint.").Add(4)
+	r.Gauge("t_temp", "", "A gauge.").Set(1.5)
+	r.GaugeFunc("t_live", "", "Polled.", func() float64 { return 12 })
+	h := r.Histogram("t_latency_seconds", "", "Latency.", NanosToSeconds)
+	for i := 0; i < 1000; i++ {
+		h.Observe(uint64(50_000 + i*1000)) // 50µs..1.05ms
+	}
+
+	text := string(AppendPrometheus(nil, r))
+	validatePrometheus(t, text)
+
+	for _, want := range []string{
+		"t_requests_total 7",
+		`t_requests_by_total{endpoint="/a"} 3`,
+		`t_requests_by_total{endpoint="/b"} 4`,
+		"t_temp 1.5",
+		"t_live 12",
+		`t_latency_seconds_bucket{le="+Inf"} 1000`,
+		"t_latency_seconds_count 1000",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	// Histogram buckets must be cumulative and non-decreasing, and the
+	// le bounds must increase.
+	prevCount, prevLe := uint64(0), -1.0
+	seenBuckets := 0
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "t_latency_seconds_bucket{le=\"") {
+			continue
+		}
+		seenBuckets++
+		rest := strings.TrimPrefix(line, "t_latency_seconds_bucket{le=\"")
+		leStr, countStr, _ := strings.Cut(rest, "\"} ")
+		n, err := strconv.ParseUint(countStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket count in %q: %v", line, err)
+		}
+		if n < prevCount {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, prevCount)
+		}
+		prevCount = n
+		if leStr != "+Inf" {
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil || le <= prevLe {
+				t.Fatalf("le bounds not increasing at %q (prev %g, err %v)", line, prevLe, err)
+			}
+			prevLe = le
+		}
+	}
+	if seenBuckets < 3 {
+		t.Fatalf("expected several bucket lines, got %d", seenBuckets)
+	}
+}
+
+func TestEmptyHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("t_empty_seconds", "", "Never observed.", NanosToSeconds)
+	text := string(AppendPrometheus(nil, r))
+	validatePrometheus(t, text)
+	for _, want := range []string{
+		`t_empty_seconds_bucket{le="+Inf"} 0`,
+		"t_empty_seconds_sum 0",
+		"t_empty_seconds_count 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("empty histogram missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_total", "", "").Add(5)
+	h := r.Histogram("t_lat_seconds", "", "", NanosToSeconds)
+	h.Observe(1_000_000) // 1ms
+	var buf strings.Builder
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &m); err != nil {
+		t.Fatalf("JSON snapshot does not parse: %v", err)
+	}
+	if m["t_total"].(float64) != 5 {
+		t.Fatalf("t_total = %v", m["t_total"])
+	}
+	lat := m["t_lat_seconds"].(map[string]any)
+	if lat["count"].(float64) != 1 {
+		t.Fatalf("histogram count = %v", lat["count"])
+	}
+	if p50 := lat["p50"].(float64); p50 < 0.0005 || p50 > 0.002 {
+		t.Fatalf("p50 = %v, want ≈ 0.001", p50)
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges, and histograms from many
+// goroutines while exposition and quantile extraction run concurrently —
+// the -race gate over the whole recording/reading surface.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("h_total", "", "")
+	g := r.Gauge("h_gauge", "", "")
+	h := r.Histogram("h_lat_seconds", "", "", NanosToSeconds)
+	r.GaugeFunc("h_fn", "", "", func() float64 { return float64(c.Value()) })
+
+	const workers, ops = 8, 20_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(uint64(w*1000 + i))
+			}
+		}(w)
+	}
+	// Concurrent readers: exposition, JSON, quantiles, and late
+	// registration racing the writers.
+	var rg sync.WaitGroup
+	for rdr := 0; rdr < 4; rdr++ {
+		rg.Add(1)
+		go func(rdr int) {
+			defer rg.Done()
+			for i := 0; i < 50; i++ {
+				_ = AppendPrometheus(nil, r)
+				_ = JSONSnapshot(r)
+				_ = h.Quantile(0.99)
+				r.Counter("h_late_total", `r="`+strconv.Itoa(rdr)+`"`, "").Inc()
+				time.Sleep(time.Microsecond)
+			}
+		}(rdr)
+	}
+	wg.Wait()
+	rg.Wait()
+	if c.Value() != workers*ops {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*ops)
+	}
+	if h.Count() != workers*ops {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*ops)
+	}
+}
+
+func TestHTTPMiddlewareAndHandler(t *testing.T) {
+	reg := NewRegistry()
+	hm := NewHTTPMetrics(reg)
+	ok := hm.Wrap("/ok", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("fine"))
+	})
+	bad := hm.Wrap("/bad", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	})
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		ok(rec, httptest.NewRequest("GET", "/ok", nil))
+	}
+	rec := httptest.NewRecorder()
+	bad(rec, httptest.NewRequest("GET", "/bad", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("wrapped handler status = %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	text := rec.Body.String()
+	validatePrometheus(t, text)
+	for _, want := range []string{
+		`http_requests_total{endpoint="/ok"} 3`,
+		`http_requests_total{endpoint="/bad"} 1`,
+		`http_request_errors_total{endpoint="/bad"} 1`,
+		`http_request_latency_seconds_count{endpoint="/ok"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("middleware metrics missing %q in:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `http_request_errors_total{endpoint="/ok"} 1`) {
+		t.Error("error counter incremented for a 200 response")
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("JSON handler output does not parse: %v", err)
+	}
+	if m[`http_requests_total{endpoint="/ok"}`].(float64) != 3 {
+		t.Fatalf("JSON snapshot wrong: %v", m)
+	}
+}

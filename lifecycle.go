@@ -30,6 +30,7 @@ package usp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -112,7 +113,8 @@ func newIndex(ds *dataset.Dataset, ens *core.Ensemble, hier *core.Hierarchy,
 	for i := range ix.shards {
 		ix.shards[i].slots = make([][]int32, ix.members*ix.slotsPerMember)
 	}
-	ix.live.Store(&epoch{
+	ix.tel = newIndexMetrics(ix)
+	ix.publish(&epoch{
 		seq: seq, data: ix.frozenView(), ens: ens, hier: hier,
 		tombs: tombs, deadSet: deadSet,
 	})
@@ -195,12 +197,13 @@ func (ix *Index) Add(vec []float32) (int, error) {
 	if prev.spill != nil {
 		total = prev.spill.total
 	}
-	ix.live.Store(&epoch{
+	ix.publish(&epoch{
 		seq: prev.seq + 1, data: ix.frozenView(), ens: prev.ens, hier: prev.hier,
 		spill: ix.spillSnapshot(total + 1), tombs: prev.tombs, deadSet: prev.deadSet,
 	})
 	ix.pendingOps.Add(1)
 	ix.wmu.Unlock()
+	ix.tel.adds.Inc()
 
 	ix.maybeCompact()
 	return id, nil
@@ -223,12 +226,13 @@ func (ix *Index) Delete(id int) error {
 		ix.wmu.Unlock()
 		return fmt.Errorf("usp: id %d already deleted", id)
 	}
-	ix.live.Store(&epoch{
+	ix.publish(&epoch{
 		seq: prev.seq + 1, data: prev.data, ens: prev.ens, hier: prev.hier,
 		spill: prev.spill, tombs: prev.tombs.With(id), deadSet: prev.deadSet,
 	})
 	ix.pendingOps.Add(1)
 	ix.wmu.Unlock()
+	ix.tel.deletes.Inc()
 
 	ix.maybeCompact()
 	return nil
@@ -249,8 +253,10 @@ func (ix *Index) Compact() {
 
 // compactOnce performs one compaction cycle. Callers must hold compactMu.
 func (ix *Index) compactOnce() {
+	start := time.Now()
 	snap := ix.live.Load()
 	if snap.spill == nil && snap.tombs.Count() == 0 {
+		ix.tel.compactionNoops.Inc()
 		return
 	}
 
@@ -291,12 +297,14 @@ func (ix *Index) compactOnce() {
 	remAdds := cur.data.N - snap.data.N // every id ≥ snap rows arrived mid-merge
 	remTombs := bitset.Diff(cur.tombs, snap.tombs)
 	ix.pendingOps.Store(int64(remAdds + remTombs.Count()))
-	ix.live.Store(&epoch{
+	ix.publish(&epoch{
 		seq: cur.seq + 1, data: ix.frozenView(), ens: mergedEns, hier: mergedHier,
 		spill: ix.spillSnapshot(remAdds), tombs: remTombs,
 		deadSet: bitset.Union(cur.deadSet, snap.tombs),
 	})
 	ix.wmu.Unlock()
+	ix.tel.compactions.Inc()
+	ix.tel.compactionLatency.ObserveDuration(time.Since(start))
 }
 
 // maybeCompact spawns a background compaction when enough mutations are

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/knn"
@@ -26,6 +27,8 @@ type Searcher struct {
 	cands []int32
 	tk    *vecmath.TopK
 	nbrs  []vecmath.Neighbor
+	// skipped is the tombstone-filter drop count of the most recent query.
+	skipped int
 	// routeBins stages Add's per-member routing decisions (Index.Add
 	// borrows a pooled Searcher for its pre-lock forward passes).
 	routeBins []int
@@ -66,24 +69,50 @@ func (s *Searcher) Search(q []float32, k int, opt SearchOptions) ([]Result, erro
 // query runs entirely against one epoch snapshot: it never blocks on
 // writers and observes either all or none of any concurrent mutation.
 func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOptions) ([]Result, error) {
+	ix := s.ix
 	if k <= 0 {
+		ix.tel.queryErrors.Inc()
 		return nil, errors.New("usp: k must be positive")
 	}
-	ix := s.ix
 	if len(q) != ix.dim {
+		ix.tel.queryErrors.Inc()
 		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.dim)
 	}
 	probes := opt.Probes
 	if probes <= 0 {
 		probes = 1
 	}
+	start := time.Now()
 	ep := ix.live.Load()
 	s.gatherCandidates(ep, q, probes, opt.UnionEnsemble)
-	s.nbrs = knn.SearchSubsetInto(s.nbrs[:0], ep.data, s.cands, q, k, s.tk, ep.tombs)
+	s.nbrs, s.skipped = knn.SearchSubsetIntoCounted(s.nbrs[:0], ep.data, s.cands, q, k, s.tk, ep.tombs)
 	for _, n := range s.nbrs {
 		dst = append(dst, Result{ID: n.Index, Distance: n.Dist})
 	}
+	// A query's telemetry is a handful of uncontended atomic adds plus two
+	// clock reads — allocation-free, so the engine's 0 allocs/op steady
+	// state survives instrumentation (benchmark-asserted in CI).
+	m := ix.tel
+	m.queries.Inc()
+	m.candidates.Add(uint64(len(s.cands)))
+	m.binsProbed.Add(uint64(ix.probedBins(probes, opt.UnionEnsemble)))
+	m.tombstonesSkipped.Add(uint64(s.skipped))
+	m.queryLatency.ObserveDuration(time.Since(start))
 	return dst, nil
+}
+
+// probedBins is the number of partition bins a query with these options
+// scans: best-confidence probes min(probes, bins) bins of one model, union
+// mode probes that many in every ensemble member (members is 1 for a
+// hierarchy, so the modes coincide there).
+func (ix *Index) probedBins(probes int, union bool) int {
+	if probes > ix.slotsPerMember {
+		probes = ix.slotsPerMember
+	}
+	if union {
+		return probes * ix.members
+	}
+	return probes
 }
 
 // Scanned reports the size of the candidate set |C(q)| of the most recent
@@ -91,6 +120,10 @@ func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOption
 // re-deriving it. Tombstoned candidates count: they were gathered and
 // skipped by the scan, which is exactly the work performed.
 func (s *Searcher) Scanned() int { return len(s.cands) }
+
+// Skipped reports how many of the most recent query's candidates the
+// tombstone filter dropped — wasted gather work that compaction reclaims.
+func (s *Searcher) Skipped() int { return s.skipped }
 
 // getSearcher takes a pooled Searcher (the pool's zero value works: misses
 // construct a fresh one).

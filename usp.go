@@ -212,6 +212,12 @@ type Index struct {
 	// (Search, SearchBatch, CandidateSet) so they stay allocation-lean
 	// without the caller managing Searchers explicitly.
 	searchers sync.Pool
+
+	// tel is the per-index telemetry surface (metrics.go); publishedAt is
+	// the UnixNano timestamp of the live epoch's publication, feeding the
+	// epoch-age gauge and /healthz.
+	tel         *indexMetrics
+	publishedAt atomic.Int64
 }
 
 // Build trains a USP index over the given vectors (all of equal length).
