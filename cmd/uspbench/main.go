@@ -32,6 +32,9 @@ func main() {
 		epochs    = flag.Int("epochs", 0, "override training epochs")
 		ensemble  = flag.Int("ensemble", 0, "override USP ensemble size")
 		seed      = flag.Int64("seed", 0, "override RNG seed")
+		quantized = flag.Bool("quantized", false, "with -bench-json: also run the quantized (ADC) serving benchmark")
+		quantN    = flag.Int("quant-n", 0, "quantized benchmark row count (default 1000000)")
+		rerankK   = flag.Int("rerank-k", 0, "quantized benchmark re-rank depth (0 = engine default, -1 = ADC only)")
 		verbose   = flag.Bool("v", false, "log per-step progress")
 	)
 	flag.Parse()
@@ -50,6 +53,7 @@ func main() {
 		cfg := servingBenchConfig{
 			N: *siftN, Queries: *queries, Epochs: *epochs,
 			Ensemble: *ensemble, Seed: *seed,
+			Quantized: *quantized, QuantN: *quantN, RerankK: *rerankK,
 		}
 		if err := runServingBench(*benchJSON, cfg, logf); err != nil {
 			log.Fatalf("serving benchmark: %v", err)

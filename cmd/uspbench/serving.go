@@ -57,6 +57,9 @@ type servingBench struct {
 	// goroutine) per processor. On machines with fewer physical cores the
 	// curve records saturation rather than speedup — num_cpu says which.
 	Scaling []scalingPoint `json:"scaling"`
+	// Quantized is the ADC serving-path report (-quantized flag); nil when
+	// the quantized benchmark was not requested.
+	Quantized *quantizedBench `json:"quantized,omitempty"`
 }
 
 // scalingPoint is one GOMAXPROCS setting of the multi-core curve.
@@ -79,6 +82,11 @@ type servingBenchConfig struct {
 	Epochs   int
 	Ensemble int
 	Seed     int64
+	// Quantized adds the ADC serving-path benchmark over QuantN rows
+	// (default 1M) at re-rank depth RerankK (0 = engine default).
+	Quantized bool
+	QuantN    int
+	RerankK   int
 }
 
 // runServingBench builds a SIFT-like index and measures serving QPS, recall
@@ -188,6 +196,13 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 	}
 	runtime.GOMAXPROCS(prevProcs)
 
+	var qrep *quantizedBench
+	if cfg.Quantized {
+		if qrep, err = runQuantizedBench(cfg, logf); err != nil {
+			return fmt.Errorf("quantized benchmark: %w", err)
+		}
+	}
+
 	rep := servingBench{
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
@@ -208,6 +223,7 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		AllocsPerOp:   allocs,
 		AvgCandidates: float64(candTotal) / float64(len(qrows)),
 		Scaling:       scaling,
+		Quantized:     qrep,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -221,6 +237,14 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		vecmath.Impl(), qpsSingle, rep.LatencyP50Us, rep.LatencyP95Us, rep.LatencyP99Us, qpsBatch, recall, allocs, path)
 	for _, sp := range scaling {
 		fmt.Printf("  scaling: gomaxprocs=%-2d clients=%-2d qps=%.0f p99=%.1fus\n", sp.GoMaxProcs, sp.Clients, sp.QPS, sp.P99Us)
+	}
+	if qrep != nil {
+		fmt.Printf("quantized: n=%d m=%d k=%d bytes/vec=%d (%.0f×) qps=%.0f recall@10=%.3f allocs/op=%.1f tight: qps=%.0f recall@10=%.3f\n",
+			qrep.N, qrep.Subspaces, qrep.CodebookK, qrep.BytesPerVector, qrep.CompressionRatio,
+			qrep.QPSSingle, qrep.Recall10, qrep.AllocsPerOp, qrep.QPSTight, qrep.Recall10Tight)
+		for _, rp := range qrep.RerankCurve {
+			fmt.Printf("  rerank: rerank_k=%-3d qps=%.0f recall@10=%.3f\n", rp.RerankK, rp.QPS, rp.Recall10)
+		}
 	}
 	return nil
 }

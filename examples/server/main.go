@@ -67,6 +67,10 @@ type searchRequest struct {
 	Vector []float32 `json:"vector"`
 	K      int       `json:"k"`
 	Probes int       `json:"probes"`
+	// RerankK is the quantized two-phase scan's exact re-rank depth
+	// (ignored on float-only indexes): 0 uses the server default, negative
+	// serves ADC-only distances.
+	RerankK int `json:"rerank_k"`
 }
 
 type searchResponse struct {
@@ -80,6 +84,7 @@ type batchSearchRequest struct {
 	Vectors [][]float32 `json:"vectors"`
 	K       int         `json:"k"`
 	Probes  int         `json:"probes"`
+	RerankK int         `json:"rerank_k"`
 }
 
 type batchSearchResponse struct {
@@ -134,6 +139,10 @@ type server struct {
 	// the scratch buffers of one in-flight query, so steady-state request
 	// handling does not allocate on the search path.
 	searchers sync.Pool
+	// rerankK is the default exact re-rank depth applied to quantized
+	// searches when the request leaves rerank_k unset (0 defers to the
+	// engine default of 4·k).
+	rerankK int
 	// reg holds the server's own HTTP metrics; /metrics exposes it together
 	// with the index's registry (query + lifecycle series).
 	reg     *telemetry.Registry
@@ -188,6 +197,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// rerank resolves a request's rerank_k against the server default.
+func (s *server) rerank(requested int) int {
+	if requested != 0 {
+		return requested
+	}
+	return s.rerankK
+}
+
 func defaulted(k, probes int) (int, int) {
 	if k <= 0 {
 		k = 10
@@ -212,7 +229,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sr := s.searchers.Get().(*usp.Searcher)
 	defer s.searchers.Put(sr)
-	res, err := sr.Search(req.Vector, req.K, usp.SearchOptions{Probes: req.Probes})
+	res, err := sr.Search(req.Vector, req.K, usp.SearchOptions{Probes: req.Probes, RerankK: s.rerank(req.RerankK)})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -237,7 +254,7 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	req.K, req.Probes = defaulted(req.K, req.Probes)
 	start := time.Now()
-	results, err := s.ix.SearchBatch(req.Vectors, req.K, usp.SearchOptions{Probes: req.Probes})
+	results, err := s.ix.SearchBatch(req.Vectors, req.K, usp.SearchOptions{Probes: req.Probes, RerankK: s.rerank(req.RerankK)})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -361,6 +378,8 @@ func main() {
 	indexPath := flag.String("index", "", "serve this snapshot instead of training a demo corpus")
 	saveDir := flag.String("save-dir", ".", "directory /save snapshots are confined to")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	quantized := flag.Bool("quantized", false, "train the demo corpus with PQ codebooks and serve via the quantized (ADC) scan")
+	rerankK := flag.Int("rerank-k", 0, "default exact re-rank depth for quantized searches (0 = engine default, -1 = ADC only)")
 	demo := flag.Bool("demo", false, "self-test: start, query, exit")
 	flag.Parse()
 
@@ -383,9 +402,13 @@ func main() {
 		var err error
 		ix, err = usp.Build(corpus.Rows(), usp.Options{
 			Bins: 16, Ensemble: 2, Epochs: 30, Hidden: []int{64}, Seed: 1,
+			Quantize: usp.Quantization{Enabled: *quantized},
 		})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *quantized {
+			log.Println("serving via the quantized (ADC) candidate scan")
 		}
 	}
 	// The demo saves into (and reloads from) a throwaway directory.
@@ -399,6 +422,7 @@ func main() {
 		*saveDir = demoDir
 	}
 	s := newServer(ix, *saveDir)
+	s.rerankK = *rerankK
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

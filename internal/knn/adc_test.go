@@ -1,0 +1,135 @@
+package knn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/quant"
+	"repro/internal/vecmath"
+)
+
+// adcFixture trains a PQ on a mixture dataset and returns the flat codes
+// plus a query's flat LUT, the raw ingredients of the ADC scan.
+func adcFixture(t testing.TB, seed int64, n, dim, m, k int) (*dataset.Dataset, *quant.PQ, []uint8, []float32, []float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	base := dataset.GaussianMixture(dataset.GaussianMixtureConfig{
+		N: n, Dim: dim, Clusters: 8, ClusterStd: 0.4, CenterBox: 3,
+	}, rng).Dataset
+	pq, err := quant.Train(base, quant.Config{Subspaces: m, K: k, Seed: seed + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes, err := pq.EncodeInto(nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	lut := pq.AppendLUT(nil, q)
+	return base, pq, codes, lut, q
+}
+
+// TestSearchSubsetADCIntoMatchesLUTScan pins the ADC scan against an
+// independent reference: a direct TopK pass over quant.LUT.Distance (the
+// nested-table path the ScaNN baseline uses). Ids must agree exactly and
+// distances to the kernel equivalence tolerance.
+func TestSearchSubsetADCIntoMatchesLUTScan(t *testing.T) {
+	base, pq, codes, lut, q := adcFixture(t, 41, 400, 16, 4, 16)
+	nested := pq.BuildLUT(q)
+	rng := rand.New(rand.NewSource(42))
+	tk := vecmath.NewTopK(1)
+	ref := vecmath.NewTopK(1)
+	var dst []vecmath.Neighbor
+	for trial := 0; trial < 30; trial++ {
+		nsub := 1 + rng.Intn(base.N)
+		subset := make([]int32, 0, nsub)
+		for _, i := range rng.Perm(base.N)[:nsub] {
+			subset = append(subset, int32(i))
+		}
+		k := 1 + rng.Intn(12)
+		dst = SearchSubsetADCInto(dst[:0], codes, pq.Subspaces, pq.K, lut, subset, k, tk, nil)
+
+		ref.SetK(k)
+		for _, i := range subset {
+			ref.Push(int(i), nested.Distance(codes[int(i)*pq.Subspaces:(int(i)+1)*pq.Subspaces]))
+		}
+		want := ref.AppendSorted(nil)
+		if len(dst) != len(want) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i].Index != want[i].Index {
+				// Equal ADC distances may swap ranks between summation
+				// orders; anything beyond rounding is a bug.
+				d := float64(dst[i].Dist - want[i].Dist)
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e-4*(1+float64(want[i].Dist)) {
+					t.Fatalf("trial %d result[%d]: id %d (dist %v), want id %d (dist %v)",
+						trial, i, dst[i].Index, dst[i].Dist, want[i].Index, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchSubsetADCIntoCountedSkipParity: the ADC scan's tombstone
+// accounting must agree exactly with the float scan's on the same subset
+// and skip set — the lifecycle swaps one scan for the other and its
+// compaction heuristics read this counter.
+func TestSearchSubsetADCIntoCountedSkipParity(t *testing.T) {
+	base, pq, codes, lut, q := adcFixture(t, 43, 300, 16, 4, 16)
+	base.EnsureSqNorms(true)
+	rng := rand.New(rand.NewSource(44))
+	tk := vecmath.NewTopK(1)
+	for trial := 0; trial < 20; trial++ {
+		var skip *bitset.Set
+		for i := 0; i < base.N; i++ {
+			if rng.Float64() < 0.25 {
+				skip = skip.With(i)
+			}
+		}
+		subset := make([]int32, 0, 250)
+		for j := 0; j < 250; j++ {
+			subset = append(subset, int32(rng.Intn(base.N)))
+		}
+		adcRes, adcSkipped := SearchSubsetADCIntoCounted(nil, codes, pq.Subspaces, pq.K, lut, subset, 10, tk, skip)
+		floatRes, floatSkipped := SearchSubsetIntoCounted(nil, base, subset, q, 10, tk, skip)
+		if adcSkipped != floatSkipped {
+			t.Fatalf("trial %d: ADC skipped %d, float skipped %d", trial, adcSkipped, floatSkipped)
+		}
+		for _, nb := range adcRes {
+			if skip.Has(nb.Index) {
+				t.Fatalf("trial %d: tombstoned id %d in ADC results", trial, nb.Index)
+			}
+		}
+		_ = floatRes
+		_, skipped := SearchSubsetADCIntoCounted(nil, codes, pq.Subspaces, pq.K, lut, subset, 10, tk, nil)
+		if skipped != 0 {
+			t.Fatalf("trial %d: nil skip set reported %d skipped", trial, skipped)
+		}
+	}
+}
+
+func TestSearchSubsetADCIntoAllocs(t *testing.T) {
+	_, pq, codes, lut, _ := adcFixture(t, 45, 500, 16, 4, 16)
+	subset := make([]int32, 500)
+	for i := range subset {
+		subset[i] = int32(i)
+	}
+	tk := vecmath.NewTopK(10)
+	dst := make([]vecmath.Neighbor, 0, 10)
+	dst = SearchSubsetADCInto(dst[:0], codes, pq.Subspaces, pq.K, lut, subset, 10, tk, nil) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		dst = SearchSubsetADCInto(dst[:0], codes, pq.Subspaces, pq.K, lut, subset, 10, tk, nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("SearchSubsetADCInto allocates %v per run", allocs)
+	}
+}

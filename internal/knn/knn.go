@@ -91,6 +91,41 @@ func SearchSubsetIntoCounted(dst []vecmath.Neighbor, base *dataset.Dataset, subs
 	return tk.AppendSorted(dst), skipped
 }
 
+// SearchSubsetADCInto is the quantized counterpart of SearchSubsetInto:
+// instead of streaming float rows it scores each candidate from its
+// m-byte PQ code via the per-query flat lookup table lut (m rows of kTab
+// floats; see vecmath.LUTSum), retaining the k best approximate distances
+// in the caller's TopK selector and appending them (ascending) to dst.
+// The tombstone skip hook behaves identically to the float scan.
+func SearchSubsetADCInto(dst []vecmath.Neighbor, codes []uint8, m, kTab int, lut []float32, subset []int32, k int, tk *vecmath.TopK, skip *bitset.Set) []vecmath.Neighbor {
+	dst, _ = SearchSubsetADCIntoCounted(dst, codes, m, kTab, lut, subset, k, tk, skip)
+	return dst
+}
+
+// SearchSubsetADCIntoCounted is SearchSubsetADCInto plus the same
+// skipped-tombstone accounting as SearchSubsetIntoCounted. codes is the
+// flat row-major code buffer (row i at codes[i*m:(i+1)*m]); it must cover
+// every id in subset. Steady-state the call allocates nothing beyond
+// growth of dst.
+func SearchSubsetADCIntoCounted(dst []vecmath.Neighbor, codes []uint8, m, kTab int, lut []float32, subset []int32, k int, tk *vecmath.TopK, skip *bitset.Set) ([]vecmath.Neighbor, int) {
+	tk.SetK(k)
+	skipped := 0
+	if skip.Count() > 0 {
+		for _, i := range subset {
+			if skip.Has(int(i)) {
+				skipped++
+				continue
+			}
+			tk.Push(int(i), vecmath.LUTSum(lut, kTab, codes[int(i)*m:(int(i)+1)*m]))
+		}
+	} else {
+		for _, i := range subset {
+			tk.Push(int(i), vecmath.LUTSum(lut, kTab, codes[int(i)*m:(int(i)+1)*m]))
+		}
+	}
+	return tk.AppendSorted(dst), skipped
+}
+
 // Matrix is the k′-NN matrix of §4.2.1: row i lists the indices of the k′
 // nearest neighbors of point i within the dataset (excluding i itself),
 // ordered by ascending distance.

@@ -18,9 +18,13 @@ import (
 
 // Config controls codebook training.
 type Config struct {
-	// Subspaces is the number of PQ blocks M (must divide into Dim
-	// sensibly; trailing block absorbs the remainder).
+	// Subspaces is the number of PQ blocks M. It must divide Dim exactly
+	// unless AllowUneven is set, in which case the trailing block absorbs
+	// the remainder.
 	Subspaces int
+	// AllowUneven permits Subspaces that do not divide Dim; the last
+	// subspace then covers Dim/Subspaces + Dim%Subspaces dimensions.
+	AllowUneven bool
 	// Codebook size per subspace (≤ 256; default 16).
 	K int
 	// Iters of (weighted) Lloyd refinement (default 15).
@@ -62,8 +66,14 @@ type PQ struct {
 // Train fits the quantizer on ds.
 func Train(ds *dataset.Dataset, cfg Config) (*PQ, error) {
 	cfg = cfg.withDefaults()
+	if ds == nil || ds.N == 0 || ds.Dim == 0 {
+		return nil, fmt.Errorf("quant: cannot train on an empty dataset")
+	}
 	if cfg.Subspaces <= 0 || cfg.Subspaces > ds.Dim {
 		return nil, fmt.Errorf("quant: Subspaces=%d invalid for dim %d", cfg.Subspaces, ds.Dim)
+	}
+	if !cfg.AllowUneven && ds.Dim%cfg.Subspaces != 0 {
+		return nil, fmt.Errorf("quant: Subspaces=%d does not divide dim %d (set AllowUneven to absorb the remainder)", cfg.Subspaces, ds.Dim)
 	}
 	if cfg.K > 256 {
 		return nil, fmt.Errorf("quant: K=%d exceeds uint8 code range", cfg.K)
@@ -112,9 +122,49 @@ func (pq *PQ) Encode(ds *dataset.Dataset) [][]uint8 {
 	return codes
 }
 
+// EncodeInto quantizes every row of ds into dst, a caller-provided flat
+// row-major code buffer of length ds.N*Subspaces (row i's code occupies
+// dst[i*Subspaces:(i+1)*Subspaces]). Unlike Encode it performs no per-row
+// allocation; dst is grown (reallocating at most once) if too short.
+func (pq *PQ) EncodeInto(dst []uint8, ds *dataset.Dataset) ([]uint8, error) {
+	if ds == nil {
+		return dst[:0], nil
+	}
+	if ds.Dim != pq.Dim {
+		return nil, fmt.Errorf("quant: dataset dim %d != quantizer dim %d", ds.Dim, pq.Dim)
+	}
+	need := ds.N * pq.Subspaces
+	if cap(dst) < need {
+		dst = make([]uint8, need)
+	}
+	dst = dst[:need]
+	m := pq.Subspaces
+	par.ForChunks(ds.N, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pq.encodeVecInto(dst[i*m:(i+1)*m], ds.Row(i))
+		}
+	})
+	return dst, nil
+}
+
+// AppendCode appends v's Subspaces-byte code to dst and returns the
+// extended slice. It allocates only when dst lacks capacity, so a
+// steady-state caller reusing its buffer pays zero allocations.
+func (pq *PQ) AppendCode(dst []uint8, v []float32) []uint8 {
+	n := len(dst)
+	dst = append(dst, make([]uint8, pq.Subspaces)...)
+	pq.encodeVecInto(dst[n:], v)
+	return dst
+}
+
 // EncodeVec quantizes one vector.
 func (pq *PQ) EncodeVec(v []float32) []uint8 {
 	code := make([]uint8, pq.Subspaces)
+	pq.encodeVecInto(code, v)
+	return code
+}
+
+func (pq *PQ) encodeVecInto(code []uint8, v []float32) {
 	for s := 0; s < pq.Subspaces; s++ {
 		lo, hi := pq.Bounds[s], pq.Bounds[s+1]
 		seg := v[lo:hi]
@@ -127,7 +177,6 @@ func (pq *PQ) EncodeVec(v []float32) []uint8 {
 		}
 		code[s] = uint8(bi)
 	}
-	return code
 }
 
 // Decode reconstructs the vector a code represents.
@@ -158,6 +207,31 @@ func (pq *PQ) BuildLUT(q []float32) LUT {
 		lut[s] = row
 	}
 	return lut
+}
+
+// AppendLUT appends the flat row-major ADC table for q to dst and returns
+// the extended slice: entry [s*K+c] is the squared distance between the
+// query's subspace-s segment and centroid c. Subspaces whose codebooks
+// hold fewer than K centroids pad the tail of their row with zeros, so
+// every row is exactly K wide and vecmath.LUTSum can index it uniformly.
+// It allocates only when dst lacks capacity.
+func (pq *PQ) AppendLUT(dst []float32, q []float32) []float32 {
+	n := len(dst)
+	dst = append(dst, make([]float32, pq.Subspaces*pq.K)...)
+	flat := dst[n:]
+	for s := 0; s < pq.Subspaces; s++ {
+		lo, hi := pq.Bounds[s], pq.Bounds[s+1]
+		seg := q[lo:hi]
+		cb := pq.Codebooks[s]
+		row := flat[s*pq.K : (s+1)*pq.K]
+		for c := 0; c < cb.N; c++ {
+			row[c] = vecmath.SquaredL2(seg, cb.Row(c))
+		}
+		for c := cb.N; c < pq.K; c++ {
+			row[c] = 0
+		}
+	}
+	return dst
 }
 
 // Distance evaluates the asymmetric (query-to-code) squared distance via the

@@ -96,8 +96,12 @@ func TestLUTMatchesDecodedDistance(t *testing.T) {
 
 func TestUnevenDimensionSplit(t *testing.T) {
 	// 10 dims over 3 subspaces: bounds 0,3,6,10 (last absorbs remainder).
+	// Uneven splits are opt-in; without AllowUneven Train must refuse.
 	ds := blobs(8, 100, 10)
-	pq, err := Train(ds, Config{Subspaces: 3, K: 4, Seed: 9})
+	if _, err := Train(ds, Config{Subspaces: 3, K: 4, Seed: 9}); err == nil {
+		t.Fatal("uneven split without AllowUneven should fail")
+	}
+	pq, err := Train(ds, Config{Subspaces: 3, K: 4, Seed: 9, AllowUneven: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,6 +130,113 @@ func TestTrainValidation(t *testing.T) {
 	}
 	if _, err := Train(ds, Config{Subspaces: 2, K: 64}); err == nil {
 		t.Fatal("K>n should fail")
+	}
+	if _, err := Train(ds, Config{Subspaces: 3, K: 4}); err == nil {
+		t.Fatal("dim not divisible by Subspaces should fail without AllowUneven")
+	}
+	if _, err := Train(nil, Config{Subspaces: 2, K: 4}); err == nil {
+		t.Fatal("nil dataset should fail")
+	}
+	if _, err := Train(dataset.New(0, 8), Config{Subspaces: 2, K: 4}); err == nil {
+		t.Fatal("empty dataset should fail")
+	}
+}
+
+func TestEncodeIntoMatchesEncode(t *testing.T) {
+	ds := blobs(21, 300, 16)
+	pq, err := Train(ds, Config{Subspaces: 4, K: 16, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pq.Encode(ds)
+	flat, err := pq.EncodeInto(nil, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat) != ds.N*pq.Subspaces {
+		t.Fatalf("flat len %d, want %d", len(flat), ds.N*pq.Subspaces)
+	}
+	for i := 0; i < ds.N; i++ {
+		for s := 0; s < pq.Subspaces; s++ {
+			if flat[i*pq.Subspaces+s] != want[i][s] {
+				t.Fatalf("row %d subspace %d: flat %d vs per-row %d", i, s, flat[i*pq.Subspaces+s], want[i][s])
+			}
+		}
+	}
+	// Reuse: a large-enough buffer must be written in place, not replaced.
+	buf := make([]uint8, 0, ds.N*pq.Subspaces)
+	out, err := pq.EncodeInto(buf, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("EncodeInto reallocated despite sufficient capacity")
+	}
+	// Dim mismatch must fail.
+	if _, err := pq.EncodeInto(nil, blobs(23, 10, 8)); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+}
+
+func TestAppendCodeMatchesEncodeVec(t *testing.T) {
+	ds := blobs(25, 200, 16)
+	pq, err := Train(ds, Config{Subspaces: 4, K: 16, Seed: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var codes []uint8
+	for i := 0; i < 50; i++ {
+		codes = pq.AppendCode(codes, ds.Row(i))
+	}
+	if len(codes) != 50*pq.Subspaces {
+		t.Fatalf("appended len %d", len(codes))
+	}
+	for i := 0; i < 50; i++ {
+		want := pq.EncodeVec(ds.Row(i))
+		for s, c := range want {
+			if codes[i*pq.Subspaces+s] != c {
+				t.Fatalf("row %d subspace %d mismatch", i, s)
+			}
+		}
+	}
+}
+
+func TestAppendLUTMatchesBuildLUT(t *testing.T) {
+	ds := blobs(27, 200, 16)
+	pq, err := Train(ds, Config{Subspaces: 4, K: 8, Seed: 28})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	q := make([]float32, 16)
+	for j := range q {
+		q[j] = float32(rng.NormFloat64())
+	}
+	nested := pq.BuildLUT(q)
+	flat := pq.AppendLUT(nil, q)
+	if len(flat) != pq.Subspaces*pq.K {
+		t.Fatalf("flat LUT len %d, want %d", len(flat), pq.Subspaces*pq.K)
+	}
+	for s := 0; s < pq.Subspaces; s++ {
+		for c := 0; c < len(nested[s]); c++ {
+			if flat[s*pq.K+c] != nested[s][c] {
+				t.Fatalf("LUT[%d][%d]: flat %v vs nested %v", s, c, flat[s*pq.K+c], nested[s][c])
+			}
+		}
+	}
+	// The flat table drives the dispatched kernel; its distances must match
+	// LUT.Distance exactly (same entries, float32 sum over ≤M terms).
+	codes, err := pq.EncodeInto(nil, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		code := codes[i*pq.Subspaces : (i+1)*pq.Subspaces]
+		got := float64(vecmath.LUTSum(flat, pq.K, code))
+		want := float64(nested.Distance(code))
+		if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("row %d: LUTSum %v vs Distance %v", i, got, want)
+		}
 	}
 }
 

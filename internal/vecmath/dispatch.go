@@ -9,17 +9,19 @@ import "os"
 // batch vs single-row inference), so the choice is deliberately not mutable
 // at runtime.
 type kernels struct {
-	name string
-	dot  func(a, b []float32) float32
-	sqL2 func(a, b []float32) float32
-	axpy func(alpha float32, x, y []float32)
+	name   string
+	dot    func(a, b []float32) float32
+	sqL2   func(a, b []float32) float32
+	axpy   func(alpha float32, x, y []float32)
+	lutSum func(lut []float32, k int, code []uint8) float32
 }
 
 var scalarKernels = kernels{
-	name: "scalar",
-	dot:  dotScalar,
-	sqL2: squaredL2Scalar,
-	axpy: axpyScalar,
+	name:   "scalar",
+	dot:    dotScalar,
+	sqL2:   squaredL2Scalar,
+	axpy:   axpyScalar,
+	lutSum: lutSumScalar,
 }
 
 // ForceScalarEnv names the environment variable that pins dispatch to the

@@ -26,11 +26,15 @@ func sqL2AVX2(a, b []float32) float32
 //go:noescape
 func axpyAVX2(alpha float32, x, y []float32)
 
+//go:noescape
+func lutSumAVX2(lut []float32, k int, code []uint8) float32
+
 var avx2Kernels = kernels{
-	name: "avx2-fma",
-	dot:  dotAVX2,
-	sqL2: sqL2AVX2,
-	axpy: axpyAVX2,
+	name:   "avx2-fma",
+	dot:    dotAVX2,
+	sqL2:   sqL2AVX2,
+	axpy:   axpyAVX2,
+	lutSum: lutSumAVX2,
 }
 
 // archKernels returns the best kernel set this CPU supports.

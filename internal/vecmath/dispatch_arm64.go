@@ -18,11 +18,15 @@ func sqL2NEON(a, b []float32) float32
 //go:noescape
 func axpyNEON(alpha float32, x, y []float32)
 
+//go:noescape
+func lutSumNEON(lut []float32, k int, code []uint8) float32
+
 var neonKernels = kernels{
-	name: "neon",
-	dot:  dotNEON,
-	sqL2: sqL2NEON,
-	axpy: axpyNEON,
+	name:   "neon",
+	dot:    dotNEON,
+	sqL2:   sqL2NEON,
+	axpy:   axpyNEON,
+	lutSum: lutSumNEON,
 }
 
 // archKernels returns the best kernel set this CPU supports.

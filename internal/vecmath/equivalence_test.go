@@ -134,6 +134,71 @@ func TestSIMDAXPYMatchesScalar(t *testing.T) {
 	}
 }
 
+// TestSIMDLUTSumMatchesScalar drives the ADC gather kernel across subspace
+// counts covering every vector-block boundary and the full range of table
+// widths (k=1 degenerate rows through k=256, the uint8 code ceiling), with
+// random in-range codes. The AVX2 port reduces 8 gathered lanes in a
+// different order than the scalar 4-way unroll, so the shared forward-error
+// tolerance applies (the NEON port matches scalar accumulation exactly, and
+// passes trivially).
+func TestSIMDLUTSumMatchesScalar(t *testing.T) {
+	arch, ok := archKernels()
+	if !ok {
+		t.Skip("no SIMD kernels on this architecture")
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range equivDims {
+		for _, k := range []int{1, 3, 4, 16, 255, 256} {
+			for trial := 0; trial < 5; trial++ {
+				lut := skewedVec(rng, m*k)
+				code := make([]uint8, m)
+				for i := range code {
+					code[i] = uint8(rng.Intn(k))
+				}
+				var mass float64
+				for s, c := range code {
+					mass += math.Abs(float64(lut[s*k+int(c)]))
+				}
+				got := float64(arch.lutSum(lut, k, code))
+				want := float64(lutSumScalar(lut, k, code))
+				if d := math.Abs(got - want); d > reductionTol(m, mass) {
+					t.Fatalf("m=%d k=%d %s lutSum=%v scalar=%v |diff|=%v > tol=%v",
+						m, k, arch.name, got, want, d, reductionTol(m, mass))
+				}
+			}
+		}
+	}
+}
+
+// TestSIMDLUTSumUnalignedSlices walks the gather kernel across every
+// byte-level misalignment of both the table and the code slice.
+func TestSIMDLUTSumUnalignedSlices(t *testing.T) {
+	arch, ok := archKernels()
+	if !ok {
+		t.Skip("no SIMD kernels on this architecture")
+	}
+	rng := rand.New(rand.NewSource(18))
+	const m, k = 33, 16
+	lutBacking := skewedVec(rng, m*k+16)
+	codeBacking := make([]uint8, m+16)
+	for i := range codeBacking {
+		codeBacking[i] = uint8(rng.Intn(k))
+	}
+	for off := 0; off < 16; off++ {
+		lut := lutBacking[off : off+m*k]
+		code := codeBacking[off : off+m]
+		var mass float64
+		for s, c := range code {
+			mass += math.Abs(float64(lut[s*k+int(c)]))
+		}
+		got := float64(arch.lutSum(lut, k, code))
+		want := float64(lutSumScalar(lut, k, code))
+		if d := math.Abs(got - want); d > reductionTol(m, mass) {
+			t.Fatalf("offset %d: lutSum=%v scalar=%v", off, got, want)
+		}
+	}
+}
+
 // TestSIMDUnalignedSlices drives the assembly through every possible slice
 // misalignment (the kernels must use unaligned loads — Go slices carry no
 // alignment guarantee beyond the element size).
@@ -195,5 +260,14 @@ func TestPublicKernelsUseActiveImpl(t *testing.T) {
 		if y1[i] != y2[i] {
 			t.Fatalf("AXPY diverges from active kernel at %d", i)
 		}
+	}
+	const k = 8
+	lut := skewedVec(rng, 12*k)
+	code := make([]uint8, 12)
+	for i := range code {
+		code[i] = uint8(rng.Intn(k))
+	}
+	if LUTSum(lut, k, code) != active.lutSum(lut, k, code) {
+		t.Fatal("LUTSum does not match active kernel")
 	}
 }

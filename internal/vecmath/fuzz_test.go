@@ -60,6 +60,33 @@ func FuzzKernelEquivalence(f *testing.F) {
 				t.Fatalf("axpy: y[%d] %s=%v scalar=%v alpha=%v", i, arch.name, y2[i], y1[i], alpha)
 			}
 		}
+
+		// LUT-sum leg: reuse the decoded floats as an ADC table. The table
+		// width k is derived from the raw bytes (1..256), the subspace count
+		// from what the floats can fill, and codes from the raw bytes
+		// reduced into range — so block boundaries, degenerate k=1 rows and
+		// the k=256 ceiling all arise from fuzzed inputs.
+		if n > 0 {
+			k := 1 + int(raw[0])
+			m := (2 * n) / k // a and b back-to-back form a 2n-float table
+			if m > 0 {
+				flat := make([]float32, 0, 2*n)
+				flat = append(flat, a...)
+				flat = append(flat, b...)
+				lut := flat[:m*k]
+				code := make([]uint8, m)
+				for i := range code {
+					code[i] = uint8(int(raw[i%len(raw)]) % k)
+				}
+				var lutMass float64
+				for s, c := range code {
+					lutMass += math.Abs(float64(lut[s*k+int(c)]))
+				}
+				if got, want := float64(arch.lutSum(lut, k, code)), float64(lutSumScalar(lut, k, code)); math.Abs(got-want) > reductionTol(m, lutMass) {
+					t.Fatalf("lutSum: %s=%v scalar=%v (m=%d k=%d)", arch.name, got, want, m, k)
+				}
+			}
+		}
 	})
 }
 

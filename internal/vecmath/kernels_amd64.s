@@ -112,6 +112,79 @@ sqdone:
 	MOVSS X0, ret+48(FP)
 	RET
 
+// Lane indices 0..7 for building the LUT row-offset ramp.
+DATA lutsumLanes<>+0(SB)/4, $0
+DATA lutsumLanes<>+4(SB)/4, $1
+DATA lutsumLanes<>+8(SB)/4, $2
+DATA lutsumLanes<>+12(SB)/4, $3
+DATA lutsumLanes<>+16(SB)/4, $4
+DATA lutsumLanes<>+20(SB)/4, $5
+DATA lutsumLanes<>+24(SB)/4, $6
+DATA lutsumLanes<>+28(SB)/4, $7
+GLOBL lutsumLanes<>(SB), RODATA, $32
+
+// func lutSumAVX2(lut []float32, k int, code []uint8) float32
+//
+// ADC lookup-table sum: Σ_s lut[s*k + code[s]]. Eight subspaces per
+// iteration: the 8 code bytes are zero-extended to dwords (VPMOVZXBD),
+// offset by the row ramp [0,k,...,7k] (advanced by 8k each block), and
+// gathered in one VGATHERDPS. Pure float32 additions in lane order, so
+// unlike the FMA kernels the result is bit-identical to the scalar
+// reference whenever the adds associate identically — equivalence tests
+// still use the shared tolerance model. Contract (enforced by the public
+// wrapper / encoder): len(lut) == len(code)*k, code[s] < k, and dword
+// offsets fit in int32.
+TEXT ·lutSumAVX2(SB), NOSPLIT, $0-60
+	MOVQ lut_base+0(FP), SI
+	MOVQ k+24(FP), DX
+	MOVQ code_base+32(FP), DI
+	MOVQ code_len+40(FP), CX
+	VXORPS Y0, Y0, Y0
+	MOVQ CX, BX
+	SHRQ $3, BX                // 8-code blocks
+	JZ   lutreduce
+	VMOVDQU lutsumLanes<>(SB), Y1
+	VPBROADCASTD k+24(FP), Y5  // low 32 bits of k (k ≤ 256)
+	VPMULLD Y5, Y1, Y1         // Y1 = [0,k,2k,...,7k]
+	VPSLLD $3, Y5, Y5          // Y5 = broadcast(8k)
+lut8:
+	VPMOVZXBD (DI), Y2         // 8 code bytes → dwords
+	VPADDD Y1, Y2, Y2          // + row offsets
+	VPCMPEQD Y4, Y4, Y4        // gather consumes its mask; rebuild
+	VGATHERDPS Y4, (SI)(Y2*4), Y3
+	VADDPS Y3, Y0, Y0
+	VPADDD Y5, Y1, Y1          // ramp advances 8 rows
+	ADDQ $8, DI
+	DECQ BX
+	JNZ  lut8
+lutreduce:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VSHUFPS $0xb1, X0, X0, X1
+	VADDPS X1, X0, X0
+	VSHUFPS $0x4e, X0, X0, X1
+	VADDSS X1, X0, X0
+	MOVQ CX, AX
+	ANDQ $-8, AX               // codes consumed by the vector loop
+	IMULQ DX, AX
+	SHLQ $2, AX                // byte offset of the first tail row
+	ADDQ AX, SI
+	MOVQ DX, R9
+	SHLQ $2, R9                // row stride in bytes
+	ANDQ $7, CX
+	JZ   lutdone
+luttail:
+	MOVBQZX (DI), BX
+	VADDSS (SI)(BX*4), X0, X0
+	ADDQ R9, SI
+	INCQ DI
+	DECQ CX
+	JNZ  luttail
+lutdone:
+	VZEROUPPER
+	MOVSS X0, ret+56(FP)
+	RET
+
 // func axpyAVX2(alpha float32, x, y []float32)
 TEXT ·axpyAVX2(SB), NOSPLIT, $0-56
 	VBROADCASTSS alpha+0(FP), Y3

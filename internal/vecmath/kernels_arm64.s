@@ -121,6 +121,72 @@ sqdone:
 	FMOVS F0, ret+48(FP)
 	RET
 
+// func lutSumNEON(lut []float32, k int, code []uint8) float32
+//
+// ADC lookup-table sum: Σ_s lut[s*k + code[s]]. AArch64 NEON has no
+// gather instruction, so this is a 4-accumulator scalar-register loop
+// whose accumulation order exactly matches lutSumScalar's 4-way unroll —
+// the NEON result is bit-identical to the scalar reference. The win over
+// compiled Go is tighter address generation (shifted-register adds,
+// post-increment byte loads), not vectorization.
+TEXT ·lutSumNEON(SB), NOSPLIT, $0-60
+	MOVD lut_base+0(FP), R0
+	MOVD k+24(FP), R1
+	MOVD code_base+32(FP), R2
+	MOVD code_len+40(FP), R3
+	FMOVS ZR, F0
+	FMOVS ZR, F1
+	FMOVS ZR, F2
+	FMOVS ZR, F3
+	MOVD $0, R6                // j = row offset in floats (i*k)
+	LSR  $2, R3, R4            // 4-code blocks
+	CBZ  R4, luttailcnt
+lut4:
+	MOVBU.P 1(R2), R7
+	ADD  R6, R7, R7            // j + code[i]
+	ADD  R7<<2, R0, R8
+	FMOVS (R8), F4
+	FADDS F4, F0, F0
+	ADD  R1, R6, R6            // j += k
+	MOVBU.P 1(R2), R7
+	ADD  R6, R7, R7
+	ADD  R7<<2, R0, R8
+	FMOVS (R8), F4
+	FADDS F4, F1, F1
+	ADD  R1, R6, R6
+	MOVBU.P 1(R2), R7
+	ADD  R6, R7, R7
+	ADD  R7<<2, R0, R8
+	FMOVS (R8), F4
+	FADDS F4, F2, F2
+	ADD  R1, R6, R6
+	MOVBU.P 1(R2), R7
+	ADD  R6, R7, R7
+	ADD  R7<<2, R0, R8
+	FMOVS (R8), F4
+	FADDS F4, F3, F3
+	ADD  R1, R6, R6
+	SUB  $1, R4, R4
+	CBNZ R4, lut4
+luttailcnt:
+	AND  $3, R3, R4
+	CBZ  R4, lutreduce
+luttail:
+	MOVBU.P 1(R2), R7
+	ADD  R6, R7, R7
+	ADD  R7<<2, R0, R8
+	FMOVS (R8), F4
+	FADDS F4, F0, F0
+	ADD  R1, R6, R6
+	SUB  $1, R4, R4
+	CBNZ R4, luttail
+lutreduce:
+	FADDS F1, F0, F0           // ((s0+s1)+s2)+s3, matching the scalar return
+	FADDS F2, F0, F0
+	FADDS F3, F0, F0
+	FMOVS F0, ret+56(FP)
+	RET
+
 // func axpyNEON(alpha float32, x, y []float32)
 TEXT ·axpyNEON(SB), NOSPLIT, $0-56
 	FMOVS alpha+0(FP), F6

@@ -77,5 +77,31 @@ func BenchmarkAXPY(b *testing.B) {
 	}
 }
 
+// BenchmarkLUTSum covers the ADC scan kernel at the subspace counts the
+// quantized index uses in practice (m=8..64 at k=16 or 256; bytes/vector
+// equals m). SetBytes counts the code bytes plus the gathered floats.
+func BenchmarkLUTSum(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	for _, impl := range benchImpls(b) {
+		for _, shape := range []struct{ m, k int }{
+			{8, 256}, {16, 256}, {16, 16}, {32, 256}, {64, 256},
+		} {
+			lut := randVec(rng, shape.m*shape.k)
+			code := make([]uint8, shape.m)
+			for i := range code {
+				code[i] = uint8(rng.Intn(shape.k))
+			}
+			b.Run(fmt.Sprintf("%s/m%dk%d", impl.name, shape.m, shape.k), func(b *testing.B) {
+				b.SetBytes(int64(shape.m * 5)) // 1 code byte + 1 gathered float per subspace
+				var s float32
+				for i := 0; i < b.N; i++ {
+					s += impl.lutSum(lut, shape.k, code)
+				}
+				sinkF32 = s
+			})
+		}
+	}
+}
+
 // sinkF32 defeats dead-code elimination of the benchmarked reductions.
 var sinkF32 float32

@@ -52,3 +52,23 @@ func axpyScalar(alpha float32, x, y []float32) {
 		y[i] += alpha * x[i]
 	}
 }
+
+// lutSumScalar gathers one float per code byte from a flat row-major M×k
+// lookup table (row s spans lut[s*k:(s+1)*k]) and sums them — the ADC
+// asymmetric-distance evaluation. Preconditions enforced by the public
+// wrapper: len(lut) == len(code)*k and every code[s] < k.
+func lutSumScalar(lut []float32, k int, code []uint8) float32 {
+	var s0, s1, s2, s3 float32
+	m := len(code)
+	i, j := 0, 0 // j tracks i*k
+	for ; i+4 <= m; i, j = i+4, j+4*k {
+		s0 += lut[j+int(code[i])]
+		s1 += lut[j+k+int(code[i+1])]
+		s2 += lut[j+2*k+int(code[i+2])]
+		s3 += lut[j+3*k+int(code[i+3])]
+	}
+	for ; i < m; i, j = i+1, j+k {
+		s0 += lut[j+int(code[i])]
+	}
+	return s0 + s1 + s2 + s3
+}

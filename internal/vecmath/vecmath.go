@@ -43,6 +43,19 @@ func SquaredL2Fused(q, x []float32, qNorm2, xNorm2 float32) float32 {
 	return d
 }
 
+// LUTSum evaluates a product-quantization asymmetric distance: it gathers
+// one entry per subspace from a flat row-major lookup table and returns
+// their sum, Σ_s lut[s*k + code[s]]. lut holds len(code) rows of k floats
+// (row s is the query-to-centroid table for subspace s); code holds one
+// centroid index per subspace. Callers must guarantee code[s] < k for
+// every s — the encoder does by construction — as the kernels gather
+// without per-element bounds checks; the slice-length relation
+// len(lut) == len(code)*k is enforced here with a single bounds check.
+func LUTSum(lut []float32, k int, code []uint8) float32 {
+	lut = lut[:len(code)*k] // single bounds check; kernels assume the shape
+	return active.lutSum(lut, k, code)
+}
+
 // L2 returns the Euclidean distance between a and b.
 func L2(a, b []float32) float32 {
 	return float32(math.Sqrt(float64(SquaredL2(a, b))))

@@ -29,12 +29,14 @@ package usp
 // merge) briefly takes the writer lock.
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/quant"
 )
 
 // epoch is one immutable, atomically published snapshot of the index. All
@@ -57,6 +59,19 @@ type epoch struct {
 	// to reject re-deletes, and snapshots persist it so a loaded index
 	// keeps rejecting them too.
 	deadSet *bitset.Set
+	// quant is the epoch's quantized view (nil on float-only indexes):
+	// the trained codebooks plus a length-capped slice of the flat code
+	// buffer, frozen the same way data is.
+	quant *quantView
+}
+
+// quantView is an epoch's immutable quantization snapshot.
+type quantView struct {
+	pq    *quant.PQ
+	codes []uint8 // length- and capacity-capped at N*Subspaces
+	// tight means the float rows were dropped: queries must serve
+	// pure-ADC results and never touch ep.data.Data.
+	tight bool
 }
 
 // dead counts rows removed from the lookup tables by past compactions.
@@ -99,11 +114,14 @@ func (ep *epoch) extra() core.ExtraBins {
 
 // newIndex assembles a servable Index around trained structures and
 // publishes its first epoch. seq/tombs/deadSet restore a snapshot's
-// lifecycle state; Build passes 0/nil/nil.
+// lifecycle state; Build passes 0/nil/nil. pq/codes carry the quantized
+// state (nil/nil for float-only indexes).
 func newIndex(ds *dataset.Dataset, ens *core.Ensemble, hier *core.Hierarchy,
-	opt Options, stats BuildStats, seq uint64, tombs, deadSet *bitset.Set) *Index {
+	opt Options, stats BuildStats, seq uint64, tombs, deadSet *bitset.Set,
+	pq *quant.PQ, codes []uint8) *Index {
 
-	ix := &Index{dim: ds.Dim, opt: opt, stats: stats, data: ds}
+	ix := &Index{dim: ds.Dim, opt: opt, stats: stats, data: ds,
+		pq: pq, codes: codes, qTrainedN: ds.N}
 	if hier != nil {
 		ix.members, ix.slotsPerMember = 1, hier.NumBins
 	} else {
@@ -116,7 +134,7 @@ func newIndex(ds *dataset.Dataset, ens *core.Ensemble, hier *core.Hierarchy,
 	ix.tel = newIndexMetrics(ix)
 	ix.publish(&epoch{
 		seq: seq, data: ix.frozenView(), ens: ens, hier: hier,
-		tombs: tombs, deadSet: deadSet,
+		tombs: tombs, deadSet: deadSet, quant: ix.quantSnapshot(ds.N),
 	})
 	return ix
 }
@@ -124,14 +142,31 @@ func newIndex(ds *dataset.Dataset, ens *core.Ensemble, hier *core.Hierarchy,
 // frozenView returns an immutable snapshot header over the current rows.
 // The backing arrays are shared with the growing dataset; the view's
 // length caps (and capacity caps, so no append can alias through it) make
-// rows added later invisible. Callers must hold wmu or be the only writer.
+// rows added later invisible. In memory-tight mode the float storage and
+// norm cache are gone — the view keeps the row count (bin tables and ADC
+// codes still reference every id) with nil payloads. Callers must hold
+// wmu or be the only writer.
 func (ix *Index) frozenView() *dataset.Dataset {
 	n := ix.data.N
-	return &dataset.Dataset{
-		N: n, Dim: ix.dim,
-		Data:    ix.data.Data[: n*ix.dim : n*ix.dim],
-		SqNorms: ix.data.SqNorms[:n:n],
+	v := &dataset.Dataset{N: n, Dim: ix.dim}
+	if ix.data.Data != nil {
+		v.Data = ix.data.Data[: n*ix.dim : n*ix.dim]
 	}
+	if ix.data.SqNorms != nil {
+		v.SqNorms = ix.data.SqNorms[:n:n]
+	}
+	return v
+}
+
+// quantSnapshot freezes the quantization state for publication with a
+// length-capped view over the first n rows' codes. Callers must hold wmu
+// or be the only writer.
+func (ix *Index) quantSnapshot(n int) *quantView {
+	if ix.pq == nil {
+		return nil
+	}
+	m := ix.pq.Subspaces
+	return &quantView{pq: ix.pq, codes: ix.codes[: n*m : n*m], tight: ix.qtight}
 }
 
 // spillSnapshot freezes the current per-shard spill state for publication.
@@ -165,17 +200,38 @@ func (ix *Index) Add(vec []float32) (int, error) {
 	s := ix.getSearcher()
 	defer ix.putSearcher(s)
 	prev := ix.live.Load()
+	if prev.quant != nil && prev.quant.tight {
+		return 0, errors.New("usp: Add is unavailable in memory-tight mode (float rows were dropped)")
+	}
 	var leaf int
 	if prev.hier != nil {
 		leaf = prev.hier.RouteLeafWith(&s.qs, vec)
 	} else {
 		s.routeBins = prev.ens.RouteBinsWith(&s.qs, vec, s.routeBins[:0])
 	}
+	// Encode outside the lock too: the code depends only on the codebooks,
+	// not the assigned id. If a compaction retrains the codebooks between
+	// here and the locked append (rare), re-encode under the lock.
+	var codedWith *quant.PQ
+	if qv := prev.quant; qv != nil {
+		codedWith = qv.pq
+		s.codeBuf = qv.pq.AppendCode(s.codeBuf[:0], vec)
+	}
 
 	ix.wmu.Lock()
 	prev = ix.live.Load() // re-resolve under the lock: models are shared anyway
+	if prev.quant != nil && prev.quant.tight {
+		ix.wmu.Unlock()
+		return 0, errors.New("usp: Add is unavailable in memory-tight mode (float rows were dropped)")
+	}
 	id := ix.data.N
 	ix.data.Append(vec)
+	if ix.pq != nil {
+		if ix.pq != codedWith {
+			s.codeBuf = ix.pq.AppendCode(s.codeBuf[:0], vec)
+		}
+		ix.codes = append(ix.codes, s.codeBuf...)
+	}
 
 	// Copy-on-write the touched shard's slot table; published epochs keep
 	// the old headers. Appending to an inner slice is safe even when it
@@ -200,6 +256,7 @@ func (ix *Index) Add(vec []float32) (int, error) {
 	ix.publish(&epoch{
 		seq: prev.seq + 1, data: ix.frozenView(), ens: prev.ens, hier: prev.hier,
 		spill: ix.spillSnapshot(total + 1), tombs: prev.tombs, deadSet: prev.deadSet,
+		quant: ix.quantSnapshot(ix.data.N),
 	})
 	ix.pendingOps.Add(1)
 	ix.wmu.Unlock()
@@ -229,6 +286,7 @@ func (ix *Index) Delete(id int) error {
 	ix.publish(&epoch{
 		seq: prev.seq + 1, data: prev.data, ens: prev.ens, hier: prev.hier,
 		spill: prev.spill, tombs: prev.tombs.With(id), deadSet: prev.deadSet,
+		quant: prev.quant,
 	})
 	ix.pendingOps.Add(1)
 	ix.wmu.Unlock()
@@ -271,9 +329,23 @@ func (ix *Index) compactOnce() {
 	} else {
 		mergedEns = snap.ens.Rebuild(snap.data.N, snap.extra(), snap.tombs)
 	}
+	// Retrain codebooks in the same lock-free phase when the dataset has
+	// grown enough that build-time centroids misrepresent the data. Only
+	// compactOnce ever writes pq/qTrainedN (compactMu is held), so reading
+	// them here without wmu is safe. Memory-tight indexes have no floats
+	// to retrain from.
+	newPQ, newCodes := ix.maybeRetrainQuant(snap)
 
 	ix.wmu.Lock()
 	cur := ix.live.Load()
+	if newPQ != nil {
+		// Rows appended while we retrained were encoded with the old
+		// codebooks; re-encode them before the swap makes newPQ live.
+		for id := snap.data.N; id < ix.data.N; id++ {
+			newCodes = newPQ.AppendCode(newCodes, ix.data.Row(id))
+		}
+		ix.pq, ix.codes, ix.qTrainedN = newPQ, newCodes, snap.data.N
+	}
 	// Spill entries staged after the snapshot stay pending: slice each
 	// slot past the snapshot's length. The remainders share backing arrays
 	// with the live slots, which is safe — writers only ever append past
@@ -301,10 +373,66 @@ func (ix *Index) compactOnce() {
 		seq: cur.seq + 1, data: ix.frozenView(), ens: mergedEns, hier: mergedHier,
 		spill: ix.spillSnapshot(remAdds), tombs: remTombs,
 		deadSet: bitset.Union(cur.deadSet, snap.tombs),
+		quant:   ix.quantSnapshot(ix.data.N),
 	})
 	ix.wmu.Unlock()
 	ix.tel.compactions.Inc()
 	ix.tel.compactionLatency.ObserveDuration(time.Since(start))
+}
+
+// maybeRetrainQuant decides whether this compaction should refresh the PQ
+// codebooks and, if so, trains them on the immutable snapshot and encodes
+// all of its rows — the expensive part, done with no locks held. Callers
+// must hold compactMu (the only writer of pq/qTrainedN).
+func (ix *Index) maybeRetrainQuant(snap *epoch) (*quant.PQ, []uint8) {
+	qv := snap.quant
+	q := ix.opt.Quantize
+	if qv == nil || qv.tight || q.RetrainGrowth < 0 {
+		return nil, nil
+	}
+	grown := snap.data.N - ix.qTrainedN
+	if float64(grown) < q.RetrainGrowth*float64(ix.qTrainedN) {
+		return nil, nil
+	}
+	pq, codes, err := trainQuantizer(snap.data, q, ix.opt.Seed+int64(snap.seq), ix.opt.Logf)
+	if err != nil {
+		// Training can only fail on degenerate data shapes; keep serving
+		// the old codebooks rather than failing the compaction.
+		if ix.opt.Logf != nil {
+			ix.opt.Logf("usp: codebook retrain skipped: %v", err)
+		}
+		return nil, nil
+	}
+	return pq, codes
+}
+
+// DropFloats switches a quantized index into memory-tight mode: the float
+// rows and norm cache are released (≈4·dim bytes/vector reclaimed, leaving
+// ~Subspaces bytes/vector of codes), and every subsequent query serves
+// pure-ADC results — RerankK is ignored since there is nothing to re-rank
+// against. The switch is one-way and trades recall for memory. Add and
+// Save return errors afterwards (they need the float rows); Delete,
+// Compact and queries keep working. Safe to call concurrently with
+// everything; returns an error on float-only indexes.
+func (ix *Index) DropFloats() error {
+	ix.wmu.Lock()
+	defer ix.wmu.Unlock()
+	if ix.pq == nil {
+		return errors.New("usp: DropFloats requires a quantized index (Options.Quantize)")
+	}
+	if ix.qtight {
+		return nil // already tight
+	}
+	ix.qtight = true
+	ix.data.Data = nil
+	ix.data.SqNorms = nil
+	prev := ix.live.Load()
+	ix.publish(&epoch{
+		seq: prev.seq + 1, data: ix.frozenView(), ens: prev.ens, hier: prev.hier,
+		spill: prev.spill, tombs: prev.tombs, deadSet: prev.deadSet,
+		quant: ix.quantSnapshot(ix.data.N),
+	})
+	return nil
 }
 
 // maybeCompact spawns a background compaction when enough mutations are

@@ -29,6 +29,10 @@ type indexMetrics struct {
 	compactions       *telemetry.Counter
 	compactionNoops   *telemetry.Counter
 	compactionLatency *telemetry.Histogram
+
+	// Quantized query path (recorded only when the epoch carries codes).
+	adcQueries       *telemetry.Counter
+	rerankCandidates *telemetry.Counter
 }
 
 // newIndexMetrics builds the registry for ix. The gauge closures read the
@@ -63,6 +67,10 @@ func newIndexMetrics(ix *Index) *indexMetrics {
 			"Compaction cycles that found nothing pending."),
 		compactionLatency: reg.Histogram("usp_compaction_latency_seconds", "",
 			"Duration of compaction cycles that performed a merge.", telemetry.NanosToSeconds),
+		adcQueries: reg.Counter("usp_adc_queries_total", "",
+			"Queries answered through the quantized (ADC) candidate scan."),
+		rerankCandidates: reg.Counter("usp_rerank_candidates_total", "",
+			"Candidates exactly re-scored from float rows after the ADC pass (0 for ADC-only queries)."),
 	}
 
 	reg.GaugeFunc("usp_epoch", "",
@@ -91,6 +99,28 @@ func newIndexMetrics(ix *Index) *indexMetrics {
 	reg.GaugeFunc("usp_dead_rows", "",
 		"Rows removed from the lookup tables by past compactions.",
 		func() float64 { return float64(ix.live.Load().dead()) })
+	reg.GaugeFunc("usp_quant_bytes_per_vector", "",
+		"Bytes stored per vector on the serving path: PQ code bytes, plus the float row unless it was dropped (memory-tight). 0 when quantization is off.",
+		func() float64 {
+			qv := ix.live.Load().quant
+			if qv == nil {
+				return 0
+			}
+			b := float64(qv.pq.Subspaces)
+			if !qv.tight {
+				b += 4 * float64(ix.dim)
+			}
+			return b
+		})
+	reg.GaugeFunc("usp_quant_compression_ratio", "",
+		"Raw float row bytes over PQ code bytes — how much smaller the scanned representation is. 0 when quantization is off.",
+		func() float64 {
+			qv := ix.live.Load().quant
+			if qv == nil {
+				return 0
+			}
+			return 4 * float64(ix.dim) / float64(qv.pq.Subspaces)
+		})
 	return m
 }
 

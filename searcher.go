@@ -32,6 +32,13 @@ type Searcher struct {
 	// routeBins stages Add's per-member routing decisions (Index.Add
 	// borrows a pooled Searcher for its pre-lock forward passes).
 	routeBins []int
+	// Quantized-path scratch: the per-query flat ADC lookup table, the
+	// ADC pass's top-rerankK survivors, the id list handed to the exact
+	// re-rank, and Add's staged row code.
+	lut     []float32
+	adc     []vecmath.Neighbor
+	rerank  []int32
+	codeBuf []uint8
 }
 
 // NewSearcher returns a fresh query context for the index. Buffers grow on
@@ -85,7 +92,12 @@ func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOption
 	start := time.Now()
 	ep := ix.live.Load()
 	s.gatherCandidates(ep, q, probes, opt.UnionEnsemble)
-	s.nbrs, s.skipped = knn.SearchSubsetIntoCounted(s.nbrs[:0], ep.data, s.cands, q, k, s.tk, ep.tombs)
+	rerankDepth := 0
+	if qv := ep.quant; qv != nil {
+		rerankDepth = s.scanQuantized(ep, q, k, opt.RerankK)
+	} else {
+		s.nbrs, s.skipped = knn.SearchSubsetIntoCounted(s.nbrs[:0], ep.data, s.cands, q, k, s.tk, ep.tombs)
+	}
 	for _, n := range s.nbrs {
 		dst = append(dst, Result{ID: n.Index, Distance: n.Dist})
 	}
@@ -97,8 +109,47 @@ func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOption
 	m.candidates.Add(uint64(len(s.cands)))
 	m.binsProbed.Add(uint64(ix.probedBins(probes, opt.UnionEnsemble)))
 	m.tombstonesSkipped.Add(uint64(s.skipped))
+	if ep.quant != nil {
+		m.adcQueries.Inc()
+		m.rerankCandidates.Add(uint64(rerankDepth))
+	}
 	m.queryLatency.ObserveDuration(time.Since(start))
 	return dst, nil
+}
+
+// scanQuantized runs the two-phase quantized scan against one epoch:
+// phase 1 scores every gathered candidate from its PQ code via a per-query
+// lookup table (asymmetric distance) and keeps the rerankK best; phase 2
+// exactly re-scores those survivors from the float rows and keeps the k
+// best. It fills s.nbrs and s.skipped like the float scan and returns the
+// re-rank depth (0 when re-ranking was skipped). With rerankK < 0, or in
+// memory-tight mode (no float rows), phase 2 is skipped and the ADC
+// distances are returned directly — approximate, monotone in the true
+// distance only up to quantization error. All scratch lives on s, so
+// steady-state the scan allocates nothing.
+func (s *Searcher) scanQuantized(ep *epoch, q []float32, k, rerankK int) int {
+	qv := ep.quant
+	m, kTab := qv.pq.Subspaces, qv.pq.K
+	s.lut = qv.pq.AppendLUT(s.lut[:0], q)
+	if rerankK < 0 || qv.tight {
+		s.nbrs, s.skipped = knn.SearchSubsetADCIntoCounted(s.nbrs[:0], qv.codes, m, kTab, s.lut, s.cands, k, s.tk, ep.tombs)
+		return 0
+	}
+	if rerankK == 0 {
+		rerankK = 4 * k
+	}
+	if rerankK < k {
+		rerankK = k
+	}
+	s.adc, s.skipped = knn.SearchSubsetADCIntoCounted(s.adc[:0], qv.codes, m, kTab, s.lut, s.cands, rerankK, s.tk, ep.tombs)
+	s.rerank = s.rerank[:0]
+	for _, nb := range s.adc {
+		s.rerank = append(s.rerank, int32(nb.Index))
+	}
+	// Tombstones were already filtered in phase 1, so the exact pass
+	// passes skip=nil and cannot double-count.
+	s.nbrs = knn.SearchSubsetInto(s.nbrs[:0], ep.data, s.rerank, q, k, s.tk, nil)
+	return len(s.rerank)
 }
 
 // probedBins is the number of partition bins a query with these options

@@ -43,6 +43,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/quant"
 )
 
 const (
@@ -55,6 +56,7 @@ const (
 	secSqNorms    = 4
 	secTombstones = 5
 	secDeadSet    = 6
+	secQuant      = 7
 
 	modelKindEnsemble  = 1
 	modelKindHierarchy = 2
@@ -76,6 +78,9 @@ type snapOptions struct {
 	Stats                                     BuildStats
 	Dead                                      int
 	Epoch                                     uint64
+	// Quant is the resolved quantization config (zero value — disabled —
+	// when decoding snapshots written before the quant section existed).
+	Quant Quantization
 }
 
 // Save writes a self-contained snapshot of the index to w. It snapshots
@@ -83,6 +88,9 @@ type snapOptions struct {
 func (ix *Index) Save(w io.Writer) error {
 	ep := ix.live.Load()
 	o := ix.opt
+	if ep.quant != nil && ep.quant.tight {
+		return fmt.Errorf("usp: cannot snapshot a memory-tight index (float rows were dropped)")
+	}
 
 	var optBuf bytes.Buffer
 	so := snapOptions{
@@ -91,6 +99,7 @@ func (ix *Index) Save(w io.Writer) error {
 		Logistic: o.Logistic, Hierarchy: o.Hierarchy, Seed: o.Seed,
 		Shards: o.Shards, CompactAfter: o.CompactAfter,
 		Stats: ix.stats, Dead: ep.dead(), Epoch: ep.seq,
+		Quant: o.Quantize,
 	}
 	if err := gob.NewEncoder(&optBuf).Encode(so); err != nil {
 		return fmt.Errorf("usp: encoding options: %w", err)
@@ -127,6 +136,18 @@ func (ix *Index) Save(w io.Writer) error {
 		{secSqNorms, uint64(8 + 4*n)},
 		{secTombstones, uint64(tombBuf.Len())},
 		{secDeadSet, uint64(deadBuf.Len())},
+	}
+	// The quant section holds the codebooks plus the flat per-row codes; the
+	// header is staged (it is tiny next to the code payload, which streams
+	// straight from the epoch's view). Readers that predate the section skip
+	// it by id, so quantized snapshots stay loadable as float-only indexes.
+	var quantHdr *bytes.Buffer
+	if qv := ep.quant; qv != nil {
+		quantHdr = encodeQuantHeader(qv.pq, n)
+		sections = append(sections, struct {
+			id  uint32
+			len uint64
+		}{secQuant, uint64(quantHdr.Len() + len(qv.codes))})
 	}
 
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -172,7 +193,102 @@ func (ix *Index) Save(w io.Writer) error {
 
 	bw.Write(tombBuf.Bytes())
 	bw.Write(deadBuf.Bytes())
+	if quantHdr != nil {
+		bw.Write(quantHdr.Bytes())
+		if _, err := bw.Write(ep.quant.codes); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
+}
+
+// encodeQuantHeader stages everything of the quant section except the code
+// payload: flags, shape, subspace bounds, and the centroid tables.
+//
+//	[4] flags (reserved; currently 0)
+//	[4] M (subspaces)  [4] K  [4] dim  [8] rows
+//	(M+1)×[4] bounds
+//	per subspace: [4] centroid count  [4] subDim  count·subDim float32s
+//	rows·M code bytes (streamed by the caller)
+//
+// The section is deliberately pure fixed-layout binary — a gob decoder
+// buffers past its payload, which would corrupt the strictly-forward
+// section walk in Load.
+func encodeQuantHeader(pq *quant.PQ, rows int) *bytes.Buffer {
+	var buf bytes.Buffer
+	var u4 [4]byte
+	var u8 [8]byte
+	put4 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u4[:], v)
+		buf.Write(u4[:])
+	}
+	put4(0) // flags
+	put4(uint32(pq.Subspaces))
+	put4(uint32(pq.K))
+	put4(uint32(pq.Dim))
+	binary.LittleEndian.PutUint64(u8[:], uint64(rows))
+	buf.Write(u8[:])
+	for _, b := range pq.Bounds {
+		put4(uint32(b))
+	}
+	for _, cb := range pq.Codebooks {
+		put4(uint32(cb.N))
+		put4(uint32(cb.Dim))
+		for _, v := range cb.Data {
+			binary.LittleEndian.PutUint32(u4[:], math.Float32bits(v))
+			buf.Write(u4[:])
+		}
+	}
+	return &buf
+}
+
+// readQuantSection parses the payload encodeQuantHeader + codes wrote.
+func readQuantSection(r io.Reader) (*quant.PQ, []uint8, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("reading quant header: %w", err)
+	}
+	m := binary.LittleEndian.Uint32(hdr[4:8])
+	k := binary.LittleEndian.Uint32(hdr[8:12])
+	dim := binary.LittleEndian.Uint32(hdr[12:16])
+	rows := binary.LittleEndian.Uint64(hdr[16:24])
+	if m == 0 || m > dim || k == 0 || k > 256 || dim > 1<<20 || rows > 1<<40 {
+		return nil, nil, fmt.Errorf("implausible quant shape m=%d k=%d dim=%d rows=%d", m, k, dim, rows)
+	}
+	pq := &quant.PQ{Dim: int(dim), Subspaces: int(m), K: int(k)}
+	pq.Bounds = make([]int, m+1)
+	var u4 [4]byte
+	for i := range pq.Bounds {
+		if _, err := io.ReadFull(r, u4[:]); err != nil {
+			return nil, nil, fmt.Errorf("reading quant bounds: %w", err)
+		}
+		pq.Bounds[i] = int(binary.LittleEndian.Uint32(u4[:]))
+	}
+	if pq.Bounds[0] != 0 || pq.Bounds[m] != int(dim) {
+		return nil, nil, fmt.Errorf("implausible quant bounds [%d..%d] for dim %d", pq.Bounds[0], pq.Bounds[m], dim)
+	}
+	pq.Codebooks = make([]*dataset.Dataset, m)
+	var cb8 [8]byte
+	for s := range pq.Codebooks {
+		if _, err := io.ReadFull(r, cb8[:]); err != nil {
+			return nil, nil, fmt.Errorf("reading quant codebook %d header: %w", s, err)
+		}
+		cn := binary.LittleEndian.Uint32(cb8[0:4])
+		cd := binary.LittleEndian.Uint32(cb8[4:8])
+		if cn == 0 || cn > k || int(cd) != pq.Bounds[s+1]-pq.Bounds[s] {
+			return nil, nil, fmt.Errorf("implausible quant codebook %d shape %dx%d", s, cn, cd)
+		}
+		data, err := readFloats(r, int(cn)*int(cd))
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading quant codebook %d: %w", s, err)
+		}
+		pq.Codebooks[s] = &dataset.Dataset{N: int(cn), Dim: int(cd), Data: data}
+	}
+	codes := make([]uint8, int(rows)*int(m))
+	if _, err := io.ReadFull(r, codes); err != nil {
+		return nil, nil, fmt.Errorf("reading quant codes: %w", err)
+	}
+	return pq, codes, nil
 }
 
 // encodeBitmap serializes a bitset as a word count plus its words.
@@ -270,6 +386,8 @@ func Load(r io.Reader) (*Index, error) {
 		norms   []float32
 		tombs   *bitset.Set
 		deadSet *bitset.Set
+		pq      *quant.PQ
+		codes   []uint8
 	)
 	pos := uint64(snapHeaderFixed) + uint64(snapSectionEntry)*uint64(count)
 	for _, e := range entries {
@@ -295,6 +413,8 @@ func Load(r io.Reader) (*Index, error) {
 			tombs, err = readBitmapSection(lr)
 		case secDeadSet:
 			deadSet, err = readBitmapSection(lr)
+		case secQuant:
+			pq, codes, err = readQuantSection(lr)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("usp: section %d: %w", e.id, err)
@@ -318,13 +438,26 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("usp: dead-set section (%d ids) disagrees with options (%d)",
 			deadSet.Count(), so.Dead)
 	}
+	if pq != nil {
+		if pq.Dim != ds.Dim || len(codes) != ds.N*pq.Subspaces {
+			return nil, fmt.Errorf("usp: quant section (dim %d, %d codes) disagrees with dataset (dim %d, %d rows)",
+				pq.Dim, len(codes), ds.Dim, ds.N)
+		}
+	}
 	opt := Options{
 		Bins: so.Bins, KPrime: so.KPrime, Epochs: so.Epochs, BatchSize: so.BatchSize,
 		Ensemble: so.Ensemble, Eta: Float(so.Eta), Dropout: Float(so.Dropout),
 		Hidden: so.Hidden, Logistic: so.Logistic, Hierarchy: so.Hierarchy,
 		Seed: so.Seed, Shards: so.Shards, CompactAfter: so.CompactAfter,
 	}.withDefaults()
-	return newIndex(ds, ens, hier, opt, so.Stats, so.Epoch, tombs, deadSet), nil
+	opt.Quantize = so.Quant
+	// A snapshot whose quant section was dropped (or written by a future
+	// format this reader skips) degrades to a float-only index: leaving
+	// Enabled set with no codebooks would promise a scan we cannot run.
+	if pq == nil {
+		opt.Quantize.Enabled = false
+	}
+	return newIndex(ds, ens, hier, opt, so.Stats, so.Epoch, tombs, deadSet, pq, codes), nil
 }
 
 // LoadFile reads a snapshot file written by SaveFile.

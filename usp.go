@@ -32,12 +32,14 @@ package usp
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/knn"
+	"repro/internal/quant"
 )
 
 // Options configures Build.
@@ -82,8 +84,69 @@ type Options struct {
 	// compaction (default 1024). Negative disables automatic compaction;
 	// Compact can still be invoked manually.
 	CompactAfter int
+	// Quantize configures the optional product-quantized (ADC) serving
+	// path; the zero value leaves the index float-only.
+	Quantize Quantization
 	// Logf receives progress lines when set.
 	Logf func(format string, args ...any)
+}
+
+// Quantization configures the ADC candidate-scan path: PQ codebooks are
+// trained at build time (and retrained on compaction as the dataset
+// grows), every row is stored as a Subspaces-byte code alongside the float
+// rows, and queries scan candidates from the codes via a per-query lookup
+// table, exactly re-ranking only the top SearchOptions.RerankK survivors.
+type Quantization struct {
+	// Enabled turns the quantized scan on.
+	Enabled bool
+	// Subspaces is the number of PQ blocks M — also the bytes per stored
+	// code. It must divide the vector dimension. Default: the largest of
+	// 64, 32, 16, 8, 4, 2, 1 that divides the dimension (128-d → 64,
+	// an 8× compression of the float payload).
+	Subspaces int
+	// K is the per-subspace codebook size (≤ 256; default 256).
+	K int
+	// Iters of Lloyd refinement per subspace (default 15).
+	Iters int
+	// TrainSample caps the rows sampled for codebook training (default
+	// 100000; 0 uses the default, negative trains on everything).
+	TrainSample int
+	// RetrainGrowth triggers codebook retraining during compaction when
+	// the row count has grown by this fraction since the last training
+	// (default 0.25; negative disables retraining).
+	RetrainGrowth float64
+	// MemoryTight drops the float rows (and norm cache) once codes are
+	// built, shrinking memory to ~Subspaces bytes/vector. Queries then
+	// serve pure-ADC results (no exact re-rank), and Add/Save become
+	// unavailable — see Index.DropFloats.
+	MemoryTight bool
+}
+
+func (q Quantization) withDefaults(dim int) Quantization {
+	if !q.Enabled {
+		return q
+	}
+	if q.Subspaces == 0 {
+		for _, m := range []int{64, 32, 16, 8, 4, 2, 1} {
+			if dim%m == 0 {
+				q.Subspaces = m
+				break
+			}
+		}
+	}
+	if q.K == 0 {
+		q.K = 256
+	}
+	if q.Iters == 0 {
+		q.Iters = 15
+	}
+	if q.TrainSample == 0 {
+		q.TrainSample = 100000
+	}
+	if q.RetrainGrowth == 0 {
+		q.RetrainGrowth = 0.25
+	}
+	return q
 }
 
 // Float returns a pointer to v — the way to set the optional float fields
@@ -170,6 +233,13 @@ type SearchOptions struct {
 	// UnionEnsemble unions every ensemble member's candidates instead of
 	// the paper's best-confidence selection (Algorithm 4).
 	UnionEnsemble bool
+	// RerankK controls the quantized two-phase scan (ignored on
+	// float-only indexes): the ADC pass keeps the RerankK best candidates
+	// by approximate distance, and only those are exactly re-ranked from
+	// the float rows. 0 defaults to 4·k (clamped up to k); negative skips
+	// re-ranking entirely and returns pure-ADC results — the only mode
+	// available once float rows are dropped (memory-tight).
+	RerankK int
 }
 
 // Index is a built USP index over a dataset.
@@ -195,6 +265,16 @@ type Index struct {
 	// staging, tombstone derivation, and epoch publication.
 	wmu  sync.Mutex
 	data *dataset.Dataset // canonical growing storage (writer-owned)
+	// Quantization state (writer-owned, guarded by wmu; epochs publish
+	// length-capped views). pq is nil on float-only indexes; codes is the
+	// flat row-major code buffer growing in lockstep with data; qtight
+	// records that the float rows were dropped (memory-tight mode);
+	// qTrainedN is the row count when codebooks were last trained, read
+	// by the compaction retrain heuristic.
+	pq        *quant.PQ
+	codes     []uint8
+	qtight    bool
+	qTrainedN int
 	// shards is the latest published per-shard spill state. Writers copy
 	// a shard's slot table before changing it (copy-on-write), so slices
 	// reachable from published epochs are never mutated.
@@ -233,34 +313,80 @@ func Build(vectors [][]float32, opt Options) (*Index, error) {
 	// Cache per-row squared norms so the candidate scan can use the fused
 	// distance kernel; Append keeps the cache extended for Add.
 	ds.EnsureSqNorms(false)
+	opt.Quantize = opt.Quantize.withDefaults(ds.Dim)
 
 	cfg := opt.coreConfig()
 
+	var ens *core.Ensemble
+	var hier *core.Hierarchy
+	var bs BuildStats
 	if len(opt.Hierarchy) > 0 {
 		h, stats, err := core.TrainHierarchy(ds, opt.Hierarchy, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("usp: %w", err)
 		}
-		bs := BuildStats{Bins: h.NumBins, Models: len(stats), Params: h.TotalParams()}
-		return newIndex(ds, nil, h, opt, bs, 0, nil, nil), nil
+		hier = h
+		bs = BuildStats{Bins: h.NumBins, Models: len(stats), Params: h.TotalParams()}
+	} else {
+		kp := cfg.KPrime
+		if kp >= ds.N {
+			kp = ds.N - 1
+			cfg.KPrime = kp
+		}
+		mat := knn.BuildMatrix(ds, kp)
+		e, stats, err := core.TrainEnsemble(ds, mat, cfg, opt.Ensemble)
+		if err != nil {
+			return nil, fmt.Errorf("usp: %w", err)
+		}
+		ens = e
+		bs = BuildStats{Bins: opt.Bins, Models: e.Size(), Params: stats.TotalParams()}
 	}
 
-	kp := cfg.KPrime
-	if kp >= ds.N {
-		kp = ds.N - 1
-		cfg.KPrime = kp
+	var pq *quant.PQ
+	var codes []uint8
+	if opt.Quantize.Enabled {
+		var err error
+		pq, codes, err = trainQuantizer(ds, opt.Quantize, opt.Seed, opt.Logf)
+		if err != nil {
+			return nil, fmt.Errorf("usp: %w", err)
+		}
 	}
-	mat := knn.BuildMatrix(ds, kp)
-	ens, stats, err := core.TrainEnsemble(ds, mat, cfg, opt.Ensemble)
+	ix := newIndex(ds, ens, hier, opt, bs, 0, nil, nil, pq, codes)
+	if opt.Quantize.MemoryTight {
+		if err := ix.DropFloats(); err != nil {
+			return nil, fmt.Errorf("usp: %w", err)
+		}
+	}
+	return ix, nil
+}
+
+// trainQuantizer fits PQ codebooks on (a sample of) ds and encodes every
+// row. Training sees at most q.TrainSample rows (a seeded uniform sample —
+// codebook quality saturates long before millions of rows) but encoding
+// always covers the full dataset.
+func trainQuantizer(ds *dataset.Dataset, q Quantization, seed int64, logf func(string, ...any)) (*quant.PQ, []uint8, error) {
+	cfg := quant.Config{Subspaces: q.Subspaces, K: q.K, Iters: q.Iters, Seed: seed + 101}
+	if q.K > ds.N {
+		cfg.K = ds.N // tiny indexes: one centroid per row still works
+	}
+	sample := ds
+	if q.TrainSample > 0 && ds.N > q.TrainSample {
+		rng := rand.New(rand.NewSource(seed + 103))
+		idx := rng.Perm(ds.N)[:q.TrainSample]
+		sample = ds.Subset(idx)
+	}
+	if logf != nil {
+		logf("usp: training PQ codebooks (M=%d K=%d on %d rows)", cfg.Subspaces, cfg.K, sample.N)
+	}
+	pq, err := quant.Train(sample, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("usp: %w", err)
+		return nil, nil, err
 	}
-	bs := BuildStats{
-		Bins:   opt.Bins,
-		Models: ens.Size(),
-		Params: stats.TotalParams(),
+	codes, err := pq.EncodeInto(nil, ds)
+	if err != nil {
+		return nil, nil, err
 	}
-	return newIndex(ds, ens, nil, opt, bs, 0, nil, nil), nil
+	return pq, codes, nil
 }
 
 // Stats reports offline-phase metrics.
