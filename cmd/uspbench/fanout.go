@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	usp "repro"
+	"repro/internal/frontier"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// fanoutBench measures the sharded serving tier end to end: the union
+// index is split into disjoint shards, each served by an in-process HTTP
+// backend, and queries flow through a real frontier.Front — fan-out,
+// per-shard top-k, merge, and the full JSON/HTTP stack included. The
+// numbers are comparable to QPSSingle to read the tier's overhead.
+type fanoutBench struct {
+	Shards  int `json:"shards"`
+	Queries int `json:"queries"`
+	// MergeVerified reports that every benchmark query's merged fan-out
+	// answer was bit-identical (ids and float distance bits) to the
+	// single-process answer over the union index. The benchmark fails
+	// instead of reporting false.
+	MergeVerified bool    `json:"merge_verified"`
+	QPS           float64 `json:"qps"`
+	LatencyP50Us  float64 `json:"latency_p50_us"`
+	LatencyP99Us  float64 `json:"latency_p99_us"`
+}
+
+// runFanoutBench shards ix, stands up one httptest backend per shard and
+// a front over them, verifies merged results against single-process
+// answers, then measures front throughput.
+func runFanoutBench(ix *usp.Index, qrows [][]float32, k int, opt usp.SearchOptions, m int, logf func(string, ...any)) (*fanoutBench, error) {
+	logf("fanout bench: splitting into %d shards...", m)
+	shards, err := ix.Shard(m)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "uspbench-fanout")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var groups [][]string
+	var backends []*httptest.Server
+	defer func() {
+		for _, b := range backends {
+			b.Close()
+		}
+	}()
+	for _, sh := range shards {
+		b := httptest.NewServer(serve.New(sh, serve.Config{DataDir: dir}).Mux())
+		backends = append(backends, b)
+		groups = append(groups, []string{b.URL})
+	}
+	front, err := frontier.New(frontier.Config{Shards: groups, Timeout: 10 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	front.ProbeHealth(context.Background())
+	fs := httptest.NewServer(front.Mux())
+	defer fs.Close()
+
+	search := func(q []float32) (serve.SearchResponse, error) {
+		body, err := json.Marshal(serve.SearchRequest{Vector: q, K: k, Probes: opt.Probes})
+		if err != nil {
+			return serve.SearchResponse{}, err
+		}
+		resp, err := http.Post(fs.URL+"/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return serve.SearchResponse{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return serve.SearchResponse{}, fmt.Errorf("front: HTTP %d", resp.StatusCode)
+		}
+		var sr serve.SearchResponse
+		return sr, json.NewDecoder(resp.Body).Decode(&sr)
+	}
+
+	// Correctness gate: every query's merged answer must match the union
+	// index bit-for-bit before throughput means anything.
+	logf("fanout bench: verifying merged results over %d queries...", len(qrows))
+	s := ix.NewSearcher()
+	dst := make([]usp.Result, 0, k)
+	for qi, q := range qrows {
+		want, err := s.SearchInto(dst[:0], q, k, opt)
+		if err != nil {
+			return nil, err
+		}
+		got, err := search(q)
+		if err != nil {
+			return nil, err
+		}
+		if len(got.IDs) != len(want) {
+			return nil, fmt.Errorf("fanout merge q%d: %d results, single-process %d", qi, len(got.IDs), len(want))
+		}
+		for i := range want {
+			if got.IDs[i] != want[i].ID || got.Distances[i] != want[i].Distance {
+				return nil, fmt.Errorf("fanout merge q%d rank %d: got %d/%x, single-process %d/%x",
+					qi, i, got.IDs[i], got.Distances[i], want[i].ID, want[i].Distance)
+			}
+		}
+	}
+
+	const rounds = 2
+	lat := telemetry.NewHistogram("bench_fanout_latency_seconds", "", "", telemetry.NanosToSeconds)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, q := range qrows {
+			qStart := time.Now()
+			if _, err := search(q); err != nil {
+				return nil, err
+			}
+			lat.ObserveDuration(time.Since(qStart))
+		}
+	}
+	qps := float64(rounds*len(qrows)) / time.Since(start).Seconds()
+
+	return &fanoutBench{
+		Shards:        m,
+		Queries:       len(qrows),
+		MergeVerified: true,
+		QPS:           qps,
+		LatencyP50Us:  lat.Quantile(0.50) / 1e3,
+		LatencyP99Us:  lat.Quantile(0.99) / 1e3,
+	}, nil
+}

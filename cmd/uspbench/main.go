@@ -35,6 +35,7 @@ func main() {
 		quantized = flag.Bool("quantized", false, "with -bench-json: also run the quantized (ADC) serving benchmark")
 		quantN    = flag.Int("quant-n", 0, "quantized benchmark row count (default 1000000)")
 		rerankK   = flag.Int("rerank-k", 0, "quantized benchmark re-rank depth (0 = engine default, -1 = ADC only)")
+		fanout    = flag.Int("fanout", 0, "with -bench-json: also benchmark the sharded serving tier over this many shards (>= 2)")
 		verbose   = flag.Bool("v", false, "log per-step progress")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 			N: *siftN, Queries: *queries, Epochs: *epochs,
 			Ensemble: *ensemble, Seed: *seed,
 			Quantized: *quantized, QuantN: *quantN, RerankK: *rerankK,
+			Fanout: *fanout,
 		}
 		if err := runServingBench(*benchJSON, cfg, logf); err != nil {
 			log.Fatalf("serving benchmark: %v", err)

@@ -60,6 +60,11 @@ type servingBench struct {
 	// Quantized is the ADC serving-path report (-quantized flag); nil when
 	// the quantized benchmark was not requested.
 	Quantized *quantizedBench `json:"quantized,omitempty"`
+	// Fanout is the sharded serving-tier report (-fanout flag): the same
+	// index split into shards behind a fan-out front, with the merge
+	// verified bit-identical before throughput is measured. Nil when not
+	// requested.
+	Fanout *fanoutBench `json:"fanout,omitempty"`
 }
 
 // scalingPoint is one GOMAXPROCS setting of the multi-core curve.
@@ -87,6 +92,9 @@ type servingBenchConfig struct {
 	Quantized bool
 	QuantN    int
 	RerankK   int
+	// Fanout (when >= 2) adds the sharded serving-tier benchmark: the
+	// index split into Fanout shards behind an in-process HTTP front.
+	Fanout int
 }
 
 // runServingBench builds a SIFT-like index and measures serving QPS, recall
@@ -203,6 +211,13 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		}
 	}
 
+	var frep *fanoutBench
+	if cfg.Fanout >= 2 {
+		if frep, err = runFanoutBench(ix, qrows, k, opt, cfg.Fanout, logf); err != nil {
+			return fmt.Errorf("fanout benchmark: %w", err)
+		}
+	}
+
 	rep := servingBench{
 		Timestamp:     time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:    runtime.GOMAXPROCS(0),
@@ -224,6 +239,7 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		AvgCandidates: float64(candTotal) / float64(len(qrows)),
 		Scaling:       scaling,
 		Quantized:     qrep,
+		Fanout:        frep,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -245,6 +261,10 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		for _, rp := range qrep.RerankCurve {
 			fmt.Printf("  rerank: rerank_k=%-3d qps=%.0f recall@10=%.3f\n", rp.RerankK, rp.QPS, rp.Recall10)
 		}
+	}
+	if frep != nil {
+		fmt.Printf("fanout: shards=%d merge_verified=%v qps=%.0f p50=%.1fus p99=%.1fus\n",
+			frep.Shards, frep.MergeVerified, frep.QPS, frep.LatencyP50Us, frep.LatencyP99Us)
 	}
 	return nil
 }

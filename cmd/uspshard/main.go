@@ -1,0 +1,60 @@
+// uspshard splits a USP snapshot into M disjoint shard snapshots for the
+// horizontal serving tier: each output file is a fully servable index
+// over a contiguous row range of the source, sharing its trained models,
+// with its global id offset recorded in the snapshot. Serve each shard
+// with cmd/uspserve and fan queries out over them with cmd/uspfront; the
+// merged answers are bit-identical to serving the unsplit snapshot (see
+// usp.Shard for the one quantized-mode exception).
+//
+//	go run ./cmd/uspshard -index corpus.usps -shards 4 -out ./shards
+//	ls shards/   # shard-0.usps ... shard-3.usps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	usp "repro"
+)
+
+func main() {
+	indexPath := flag.String("index", "", "source snapshot to split (required)")
+	shards := flag.Int("shards", 2, "number of disjoint shards")
+	outDir := flag.String("out", ".", "directory the shard snapshots are written to")
+	prefix := flag.String("prefix", "shard", "output filename prefix (<prefix>-<i>.usps)")
+	flag.Parse()
+
+	if *indexPath == "" {
+		flag.Usage()
+		log.Fatal("uspshard: -index is required")
+	}
+	ix, err := usp.LoadFile(*indexPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s: %d vectors of dim %d", *indexPath, ix.Len(), ix.Dim())
+
+	parts, err := ix.Shard(*shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for i, sh := range parts {
+		path := filepath.Join(*outDir, fmt.Sprintf("%s-%d.usps", *prefix, i))
+		if err := sh.SaveFile(path); err != nil {
+			log.Fatal(err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s: %d live vectors, id offset %d, %d bytes",
+			path, sh.Len(), sh.IDOffset(), info.Size())
+	}
+	log.Printf("split %d rows into %d shards", ix.Len(), len(parts))
+}

@@ -1,5 +1,5 @@
 // Command usptrain trains a USP partitioning index over an fvecs dataset
-// and writes it to disk for cmd/uspquery or examples/server to serve.
+// and writes it to disk for cmd/uspquery or cmd/uspserve to serve.
 //
 // By default it writes a self-contained versioned snapshot (models, lookup
 // tables, dataset rows, norm cache, tombstones — see DESIGN.md) that serves

@@ -116,6 +116,38 @@ func Diff(a, b *Set) *Set {
 	return &Set{words: words, count: count}
 }
 
+// Slice returns the bits of s in [lo, hi) shifted down by lo — the bitmap a
+// contiguous dataset shard inherits from its parent, renumbered to local
+// ids — or nil when that window is empty. s is unchanged; nil-safe.
+func (s *Set) Slice(lo, hi int) *Set {
+	if s == nil || s.count == 0 || hi <= lo {
+		return nil
+	}
+	words := make([]uint64, (hi-lo+63)>>6)
+	count := 0
+	for w := range words {
+		base := lo + w<<6
+		var v uint64
+		// Assemble the shifted word from the (up to two) source words that
+		// overlap it, then mask off bits at or beyond hi.
+		if sw := base >> 6; sw < len(s.words) {
+			v = s.words[sw] >> (uint(base) & 63)
+			if off := uint(base) & 63; off != 0 && sw+1 < len(s.words) {
+				v |= s.words[sw+1] << (64 - off)
+			}
+		}
+		if rem := hi - base; rem < 64 {
+			v &= 1<<uint(rem) - 1
+		}
+		words[w] = v
+		count += bits.OnesCount64(v)
+	}
+	if count == 0 {
+		return nil
+	}
+	return &Set{words: words, count: count}
+}
+
 // Words exposes the backing bitmap for serialization. The returned slice
 // must not be modified. Nil-safe.
 func (s *Set) Words() []uint64 {

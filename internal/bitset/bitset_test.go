@@ -63,3 +63,39 @@ func TestWordsRoundTrip(t *testing.T) {
 		t.Fatal("empty bitmaps must map to nil")
 	}
 }
+
+func TestSlice(t *testing.T) {
+	var s *Set
+	a := s.With(0).With(5).With(63).With(64).With(130).With(200)
+	// Window [64, 201): keeps 64, 130, 200 renumbered to 0, 66, 136.
+	sl := a.Slice(64, 201)
+	if sl == nil || sl.Count() != 3 || !sl.Has(0) || !sl.Has(66) || !sl.Has(136) {
+		t.Fatalf("slice wrong: count=%d", sl.Count())
+	}
+	if sl.Has(135) || sl.Has(137) {
+		t.Fatal("slice set stray bits")
+	}
+	// Unaligned window [5, 64): keeps 5 and 63 as 0 and 58.
+	sl = a.Slice(5, 64)
+	if sl == nil || sl.Count() != 2 || !sl.Has(0) || !sl.Has(58) {
+		t.Fatalf("unaligned slice wrong: count=%d", sl.Count())
+	}
+	// Exhaustive cross-check against Has over every sub-window of a dense-ish set.
+	b := s.With(1).With(2).With(70).With(71).With(127).With(128).With(129).With(250)
+	for lo := 0; lo <= 260; lo += 13 {
+		for hi := lo; hi <= 260; hi += 31 {
+			got := b.Slice(lo, hi)
+			for i := lo; i < hi; i++ {
+				if got.Has(i-lo) != b.Has(i) {
+					t.Fatalf("Slice(%d,%d) bit %d: got %v want %v", lo, hi, i, got.Has(i-lo), b.Has(i))
+				}
+			}
+		}
+	}
+	if a.Slice(201, 300) != nil {
+		t.Fatal("empty window must be nil")
+	}
+	if (*Set)(nil).Slice(0, 10) != nil {
+		t.Fatal("nil slice must be nil")
+	}
+}

@@ -1,0 +1,540 @@
+// Package frontier is the stateless fan-out query front of the sharded
+// serving tier: it spreads each search over N uspserve backends — full
+// replicas or disjoint dataset shards — and merges the per-shard top-k
+// into one answer.
+//
+// Topology is a list of shard groups, each holding sibling replica URLs
+// that serve the same rows. A query fans out to one backend per group
+// (round-robin over the healthy siblings), each shard's sorted top-k
+// comes back with local ids, the front offsets them by the shard's
+// id_offset (learned from /healthz) and runs the bounded (distance, id)
+// merge from internal/vecmath — the same tie-break the engine's own TopK
+// drain uses, so sharded answers are bit-identical to a single process
+// searching the union dataset (see usp.Shard for the one quantized-mode
+// exception).
+//
+// The front holds no index state, so any number of fronts can serve the
+// same backend fleet. Resilience is deliberate and minimal: per-request
+// timeouts with context propagation, one bounded retry against a sibling
+// replica on 5xx or transport failure (never on 4xx — a request the
+// backend classified as the caller's fault stays failed), health checks
+// that eject dead backends from rotation, and a concurrent-request limit
+// that sheds excess load with 429 instead of queueing without bound.
+package frontier
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+	"repro/internal/vecmath"
+)
+
+// Config parameterizes a Front.
+type Config struct {
+	// Shards is the backend topology: one entry per disjoint shard, each
+	// listing the base URLs ("http://host:port") of sibling replicas
+	// serving that shard. A single-replica, single-shard front is a plain
+	// reverse proxy with validation.
+	Shards [][]string
+	// Timeout bounds each backend request, retries included separately
+	// (default 2s).
+	Timeout time.Duration
+	// MaxInFlight caps concurrently handled front requests; excess
+	// requests are rejected with 429 (default 256).
+	MaxInFlight int
+	// HealthInterval is the background health-probe period (default 2s).
+	HealthInterval time.Duration
+	// Client issues backend requests (default: http.Client with sane
+	// connection pooling).
+	Client *http.Client
+}
+
+// backend is one uspserve process in the topology.
+type backend struct {
+	url     string
+	healthy atomic.Bool
+	// idOffset is the backend's global id base as last reported by
+	// /healthz. It is observability-only: merging always uses the offset
+	// carried on each search response, which cannot go stale.
+	idOffset atomic.Int64
+
+	reqs *telemetry.Counter
+	errs *telemetry.Counter
+	lat  *telemetry.Histogram
+}
+
+// group is the replica set of one shard; queries round-robin over its
+// healthy members.
+type group struct {
+	backends []*backend
+	next     atomic.Uint64
+}
+
+// pick returns the group's backends in preferred order: healthy members
+// first (rotated round-robin), then unhealthy ones as a last resort —
+// a front with every sibling marked down still tries rather than failing
+// without a request.
+func (g *group) pick(dst []*backend) []*backend {
+	start := int(g.next.Add(1) - 1)
+	n := len(g.backends)
+	for i := 0; i < n; i++ {
+		if b := g.backends[(start+i)%n]; b.healthy.Load() {
+			dst = append(dst, b)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if b := g.backends[(start+i)%n]; !b.healthy.Load() {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// Front fans queries out over the configured shard groups.
+type Front struct {
+	cfg    Config
+	groups []*group
+	client *http.Client
+	sem    chan struct{}
+
+	reg      *telemetry.Registry
+	fanout   *telemetry.Counter
+	retries  *telemetry.Counter
+	rejected *telemetry.Counter
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New validates the topology and returns a Front. Call Start to begin
+// background health probing (tests may drive ProbeHealth directly).
+func New(cfg Config) (*Front, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("frontier: no shard groups configured")
+	}
+	for i, g := range cfg.Shards {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("frontier: shard group %d has no backends", i)
+		}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	f := &Front{
+		cfg:    cfg,
+		client: cfg.Client,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		reg:    telemetry.NewRegistry(),
+		stop:   make(chan struct{}),
+	}
+	if f.client == nil {
+		f.client = &http.Client{}
+	}
+	f.fanout = f.reg.Counter("front_fanout_total", "",
+		"Backend requests fanned out, across all shard groups.")
+	f.retries = f.reg.Counter("front_retries_total", "",
+		"Backend requests retried against a sibling replica after a 5xx or transport failure.")
+	f.rejected = f.reg.Counter("front_rejected_total", "",
+		"Front requests shed with 429 because the in-flight limit was reached.")
+	healthy := 0
+	for _, urls := range cfg.Shards {
+		g := &group{}
+		for _, u := range urls {
+			labels := `backend="` + u + `"`
+			b := &backend{
+				url:  u,
+				reqs: f.reg.Counter("front_backend_requests_total", labels, "Requests sent to this backend."),
+				errs: f.reg.Counter("front_backend_errors_total", labels, "Requests to this backend that failed (transport error or status >= 500)."),
+				lat:  f.reg.Histogram("front_backend_latency_seconds", labels, "Backend round-trip latency.", telemetry.NanosToSeconds),
+			}
+			// Optimistically in rotation until the first probe says otherwise.
+			b.healthy.Store(true)
+			g.backends = append(g.backends, b)
+			healthy++
+		}
+		f.groups = append(f.groups, g)
+	}
+	f.reg.GaugeFunc("front_healthy_backends", "",
+		"Backends currently passing health checks.", func() float64 {
+			n := 0
+			for _, g := range f.groups {
+				for _, b := range g.backends {
+					if b.healthy.Load() {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		})
+	return f, nil
+}
+
+// Start launches the background health loop; Close stops it.
+func (f *Front) Start() {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		t := time.NewTicker(f.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				f.ProbeHealth(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the health loop.
+func (f *Front) Close() {
+	close(f.stop)
+	f.wg.Wait()
+}
+
+// ProbeHealth sweeps every backend's /healthz once, updating rotation
+// state and id offsets. Siblings are probed concurrently; the sweep
+// returns when all probes finish.
+func (f *Front) ProbeHealth(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, g := range f.groups {
+		for _, b := range g.backends {
+			wg.Add(1)
+			go func(b *backend) {
+				defer wg.Done()
+				hctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+				defer cancel()
+				req, err := http.NewRequestWithContext(hctx, http.MethodGet, b.url+"/healthz", nil)
+				if err != nil {
+					b.healthy.Store(false)
+					return
+				}
+				resp, err := f.client.Do(req)
+				if err != nil {
+					b.healthy.Store(false)
+					return
+				}
+				defer resp.Body.Close()
+				var hz serve.HealthzResponse
+				if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&hz) != nil || !hz.IndexLoaded {
+					b.healthy.Store(false)
+					return
+				}
+				b.idOffset.Store(int64(hz.IDOffset))
+				b.healthy.Store(true)
+			}(b)
+		}
+	}
+	wg.Wait()
+}
+
+// Mux assembles the front's routing table: the fan-out query endpoints
+// behind per-endpoint metrics, plus /healthz and /metrics.
+func (f *Front) Mux() *http.ServeMux {
+	hm := telemetry.NewHTTPMetrics(f.reg)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", hm.Wrap("/search", f.handleSearch))
+	mux.HandleFunc("/search/batch", hm.Wrap("/search/batch", f.handleSearchBatch))
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.Handle("/metrics", telemetry.Handler(f.reg))
+	return mux
+}
+
+// httpError is a backend reply with status >= 400: the status decides
+// whether the request may be retried on a sibling.
+type httpError struct {
+	status int
+	body   string
+}
+
+func (e *httpError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.status, e.body) }
+
+// callBackend POSTs body to one backend and decodes a JSON reply into out.
+func (f *Front) callBackend(ctx context.Context, b *backend, path string, body []byte, out any) error {
+	cctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, b.url+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	b.reqs.Inc()
+	f.fanout.Inc()
+	resp, err := f.client.Do(req)
+	b.lat.ObserveDuration(time.Since(start))
+	if err != nil {
+		b.errs.Inc()
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		if resp.StatusCode >= 500 {
+			b.errs.Inc()
+		}
+		return &httpError{status: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// askGroup sends one shard's request, retrying once against the next
+// sibling replica when the first attempt fails with a transport error or
+// a 5xx. 4xx replies are returned immediately: the backend judged the
+// request itself invalid, and a sibling would only repeat the verdict.
+// The id offset used for merging comes from the response body itself
+// (SearchResponse.IDOffset), never from cached health-probe state, so a
+// backend that reloads to a different shard mid-flight cannot skew ids.
+func (f *Front) askGroup(ctx context.Context, g *group, path string, body []byte, out any) error {
+	var order [4]*backend
+	candidates := g.pick(order[:0])
+	var lastErr error
+	for attempt, b := range candidates {
+		if attempt >= 2 { // bounded: primary + one sibling retry
+			break
+		}
+		if attempt > 0 {
+			f.retries.Inc()
+		}
+		err := f.callBackend(ctx, b, path, body, out)
+		if err == nil {
+			return nil
+		}
+		var he *httpError
+		if errors.As(err, &he) && he.status < 500 {
+			return err // caller's fault; do not retry
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// writeFanoutError classifies a fan-out failure for the client: backend
+// 4xx verdicts pass through verbatim, deadline expiry is 504, and any
+// other backend failure surfaces as 502.
+func writeFanoutError(w http.ResponseWriter, err error) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he) && he.status < 500:
+		http.Error(w, he.body, he.status)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "backend timeout: "+err.Error(), http.StatusGatewayTimeout)
+	default:
+		http.Error(w, "backend failure: "+err.Error(), http.StatusBadGateway)
+	}
+}
+
+// acquire takes an in-flight slot, or sheds the request with 429.
+func (f *Front) acquire(w http.ResponseWriter) bool {
+	select {
+	case f.sem <- struct{}{}:
+		return true
+	default:
+		f.rejected.Inc()
+		http.Error(w, "too many in-flight requests", http.StatusTooManyRequests)
+		return false
+	}
+}
+
+func (f *Front) release() { <-f.sem }
+
+// shardAnswer is one group's reply to a fanned-out /search.
+type shardAnswer struct {
+	resp serve.SearchResponse
+	err  error
+}
+
+func (f *Front) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !f.acquire(w) {
+		return
+	}
+	defer f.release()
+	var req serve.SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Validate here so a broken request costs zero backend traffic and
+	// cannot trip the retry path.
+	if err := serve.ValidateSearchParams(req.K, req.Probes, req.RerankK); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	start := time.Now()
+	answers := make([]shardAnswer, len(f.groups))
+	var wg sync.WaitGroup
+	for gi, g := range f.groups {
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			answers[gi].err = f.askGroup(r.Context(), g, "/search", body, &answers[gi].resp)
+		}(gi, g)
+	}
+	wg.Wait()
+
+	scanned := 0
+	lists := make([][]vecmath.Neighbor, len(answers))
+	for gi, a := range answers {
+		if a.err != nil {
+			writeFanoutError(w, a.err)
+			return
+		}
+		scanned += a.resp.Scanned
+		ns := make([]vecmath.Neighbor, len(a.resp.IDs))
+		for i, id := range a.resp.IDs {
+			ns[i] = vecmath.Neighbor{Index: a.resp.IDOffset + id, Dist: a.resp.Distances[i]}
+		}
+		lists[gi] = ns
+	}
+	merged := vecmath.MergeSortedNeighbors(nil, req.K, lists...)
+	resp := serve.SearchResponse{Scanned: scanned, Elapsed: time.Since(start).String()}
+	for _, n := range merged {
+		resp.IDs = append(resp.IDs, n.Index)
+		resp.Distances = append(resp.Distances, n.Dist)
+	}
+	writeJSON(w, resp)
+}
+
+// batchAnswer is one group's reply to a fanned-out /search/batch.
+type batchAnswer struct {
+	resp serve.BatchSearchResponse
+	err  error
+}
+
+func (f *Front) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !f.acquire(w) {
+		return
+	}
+	defer f.release()
+	var req serve.BatchSearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := serve.ValidateSearchParams(req.K, req.Probes, req.RerankK); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	start := time.Now()
+	answers := make([]batchAnswer, len(f.groups))
+	var wg sync.WaitGroup
+	for gi, g := range f.groups {
+		wg.Add(1)
+		go func(gi int, g *group) {
+			defer wg.Done()
+			answers[gi].err = f.askGroup(r.Context(), g, "/search/batch", body, &answers[gi].resp)
+		}(gi, g)
+	}
+	wg.Wait()
+
+	nq := len(req.Vectors)
+	for _, a := range answers {
+		if a.err != nil {
+			writeFanoutError(w, a.err)
+			return
+		}
+		if len(a.resp.IDs) != nq {
+			http.Error(w, fmt.Sprintf("backend answered %d queries, want %d", len(a.resp.IDs), nq),
+				http.StatusBadGateway)
+			return
+		}
+	}
+	resp := serve.BatchSearchResponse{
+		IDs:       make([][]int, nq),
+		Distances: make([][]float32, nq),
+	}
+	lists := make([][]vecmath.Neighbor, len(answers))
+	for qi := 0; qi < nq; qi++ {
+		for gi, a := range answers {
+			ns := make([]vecmath.Neighbor, len(a.resp.IDs[qi]))
+			for i, id := range a.resp.IDs[qi] {
+				ns[i] = vecmath.Neighbor{Index: a.resp.IDOffset + id, Dist: a.resp.Distances[qi][i]}
+			}
+			lists[gi] = ns
+		}
+		merged := vecmath.MergeSortedNeighbors(nil, req.K, lists...)
+		ids := make([]int, len(merged))
+		ds := make([]float32, len(merged))
+		for i, n := range merged {
+			ids[i], ds[i] = n.Index, n.Dist
+		}
+		resp.IDs[qi], resp.Distances[qi] = ids, ds
+	}
+	resp.Elapsed = time.Since(start).String()
+	writeJSON(w, resp)
+}
+
+// FrontHealthz is the body of the front's GET /healthz.
+type FrontHealthz struct {
+	Status          string `json:"status"`
+	Shards          int    `json:"shards"`
+	Backends        int    `json:"backends"`
+	HealthyBackends int    `json:"healthy_backends"`
+	// Degraded lists shard groups with zero healthy members; queries
+	// covering them are expected to fail until a replica recovers.
+	Degraded []int `json:"degraded_shards,omitempty"`
+}
+
+func (f *Front) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	hz := FrontHealthz{Status: "ok", Shards: len(f.groups)}
+	for gi, g := range f.groups {
+		live := 0
+		for _, b := range g.backends {
+			hz.Backends++
+			if b.healthy.Load() {
+				live++
+				hz.HealthyBackends++
+			}
+		}
+		if live == 0 {
+			hz.Degraded = append(hz.Degraded, gi)
+		}
+	}
+	if len(hz.Degraded) > 0 {
+		hz.Status = "degraded"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, hz)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

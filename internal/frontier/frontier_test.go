@@ -1,0 +1,441 @@
+package frontier
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	usp "repro"
+	"repro/internal/dataset"
+	"repro/internal/serve"
+)
+
+func buildIndex(t testing.TB, vecs [][]float32) *usp.Index {
+	t.Helper()
+	ix, err := usp.Build(vecs, usp.Options{
+		Bins: 4, Ensemble: 2, Epochs: 25, Hidden: []int{16}, Seed: 31, CompactAfter: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func corpusRows(t testing.TB, seed int64, n, dim int) [][]float32 {
+	t.Helper()
+	l := dataset.GaussianMixture(dataset.GaussianMixtureConfig{
+		N: n, Dim: dim, Clusters: 5, ClusterStd: 0.3, CenterBox: 3,
+	}, rand.New(rand.NewSource(seed)))
+	return l.Rows()
+}
+
+// backendFor starts an httptest backend serving ix.
+func backendFor(t testing.TB, ix *usp.Index) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(serve.New(ix, serve.Config{DataDir: t.TempDir()}).Mux())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// frontFor builds a Front over the given shard groups, probes health
+// once, and serves it over httptest.
+func frontFor(t testing.TB, cfg Config) (*Front, *httptest.Server) {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.ProbeHealth(context.Background())
+	ts := httptest.NewServer(f.Mux())
+	t.Cleanup(ts.Close)
+	return f, ts
+}
+
+func postJSON(t testing.TB, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t testing.TB, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestFanoutBitIdentical is the tentpole acceptance test over the real
+// HTTP stack: a front fanning out over shard backends must answer every
+// query bit-identically — same ids, same order, same float distance
+// bits — to one process serving the union index.
+func TestFanoutBitIdentical(t *testing.T) {
+	vecs := corpusRows(t, 101, 600, 8)
+	union := buildIndex(t, vecs)
+	unionSrv := backendFor(t, union)
+
+	for _, m := range []int{2, 3} {
+		shards, err := union.Shard(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var groups [][]string
+		for _, sh := range shards {
+			groups = append(groups, []string{backendFor(t, sh).URL})
+		}
+		_, front := frontFor(t, Config{Shards: groups})
+
+		for _, probes := range []int{1, 2} {
+			for qi := 0; qi < 40; qi++ {
+				req := serve.SearchRequest{Vector: vecs[qi], K: 10, Probes: probes}
+				want := decode[serve.SearchResponse](t, postJSON(t, unionSrv.URL+"/search", req))
+				got := decode[serve.SearchResponse](t, postJSON(t, front.URL+"/search", req))
+				if len(got.IDs) != len(want.IDs) {
+					t.Fatalf("m=%d probes=%d q%d: %d ids, want %d", m, probes, qi, len(got.IDs), len(want.IDs))
+				}
+				for i := range got.IDs {
+					if got.IDs[i] != want.IDs[i] || got.Distances[i] != want.Distances[i] {
+						t.Fatalf("m=%d probes=%d q%d rank %d: got %d/%x, want %d/%x",
+							m, probes, qi, i, got.IDs[i], got.Distances[i], want.IDs[i], want.Distances[i])
+					}
+				}
+				if got.Scanned != want.Scanned {
+					t.Fatalf("m=%d probes=%d q%d: scanned %d, want %d", m, probes, qi, got.Scanned, want.Scanned)
+				}
+			}
+		}
+	}
+}
+
+// TestFanoutBatchBitIdentical extends bit-equality to /search/batch.
+func TestFanoutBatchBitIdentical(t *testing.T) {
+	vecs := corpusRows(t, 103, 500, 8)
+	union := buildIndex(t, vecs)
+	unionSrv := backendFor(t, union)
+	shards, err := union.Shard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, front := frontFor(t, Config{Shards: [][]string{
+		{backendFor(t, shards[0]).URL},
+		{backendFor(t, shards[1]).URL},
+	}})
+
+	req := serve.BatchSearchRequest{Vectors: vecs[:25], K: 7, Probes: 2}
+	want := decode[serve.BatchSearchResponse](t, postJSON(t, unionSrv.URL+"/search/batch", req))
+	got := decode[serve.BatchSearchResponse](t, postJSON(t, front.URL+"/search/batch", req))
+	if len(got.IDs) != len(want.IDs) {
+		t.Fatalf("%d answers, want %d", len(got.IDs), len(want.IDs))
+	}
+	for qi := range got.IDs {
+		if len(got.IDs[qi]) != len(want.IDs[qi]) {
+			t.Fatalf("q%d: %d ids, want %d", qi, len(got.IDs[qi]), len(want.IDs[qi]))
+		}
+		for i := range got.IDs[qi] {
+			if got.IDs[qi][i] != want.IDs[qi][i] || got.Distances[qi][i] != want.Distances[qi][i] {
+				t.Fatalf("q%d rank %d: got %d/%x, want %d/%x",
+					qi, i, got.IDs[qi][i], got.Distances[qi][i], want.IDs[qi][i], want.Distances[qi][i])
+			}
+		}
+	}
+}
+
+// TestFrontValidation: broken requests are rejected at the front with 400
+// and generate zero backend traffic (no retry amplification).
+func TestFrontValidation(t *testing.T) {
+	vecs := corpusRows(t, 107, 300, 8)
+	ix := buildIndex(t, vecs)
+	f, front := frontFor(t, Config{Shards: [][]string{{backendFor(t, ix).URL}}})
+
+	before := f.fanout.Value()
+	for _, tc := range []struct {
+		name string
+		req  serve.SearchRequest
+	}{
+		{"k missing", serve.SearchRequest{Vector: vecs[0]}},
+		{"k negative", serve.SearchRequest{Vector: vecs[0], K: -1}},
+		{"probes negative", serve.SearchRequest{Vector: vecs[0], K: 5, Probes: -2}},
+		{"rerank invalid", serve.SearchRequest{Vector: vecs[0], K: 5, RerankK: -3}},
+	} {
+		resp := postJSON(t, front.URL+"/search", tc.req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: HTTP %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	if f.fanout.Value() != before {
+		t.Fatalf("invalid requests reached backends: fanout %d -> %d", before, f.fanout.Value())
+	}
+
+	// A request only the backend can judge invalid (dim mismatch) is
+	// passed through as the backend's 400 — and not retried.
+	resp := postJSON(t, front.URL+"/search", serve.SearchRequest{Vector: vecs[0][:4], K: 5})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dim mismatch: HTTP %d, want 400", resp.StatusCode)
+	}
+	if f.retries.Value() != 0 {
+		t.Fatalf("backend 400 was retried %d times", f.retries.Value())
+	}
+}
+
+// flakyProxy forwards to target but fails the first n requests with 503.
+type flakyProxy struct {
+	mu     sync.Mutex
+	fails  int
+	target *httptest.Server
+}
+
+func (p *flakyProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	shouldFail := p.fails > 0
+	if shouldFail {
+		p.fails--
+	}
+	p.mu.Unlock()
+	if shouldFail && r.URL.Path == "/search" {
+		http.Error(w, "injected failure", http.StatusServiceUnavailable)
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target.URL+r.URL.Path, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// TestRetryOnSiblingReplica: a 5xx from the primary replica is retried
+// against the healthy sibling and succeeds transparently.
+func TestRetryOnSiblingReplica(t *testing.T) {
+	vecs := corpusRows(t, 109, 300, 8)
+	ix := buildIndex(t, vecs)
+	good := backendFor(t, ix)
+	flaky := httptest.NewServer(&flakyProxy{fails: 1 << 20, target: good})
+	defer flaky.Close()
+
+	// One shard, two replicas: the flaky one always 503s /search.
+	f, front := frontFor(t, Config{Shards: [][]string{{flaky.URL, good.URL}}})
+
+	const n = 8
+	ok := 0
+	for i := 0; i < n; i++ {
+		resp := postJSON(t, front.URL+"/search", serve.SearchRequest{Vector: vecs[i], K: 5, Probes: 2})
+		if resp.StatusCode == http.StatusOK {
+			r := decode[serve.SearchResponse](t, resp)
+			if len(r.IDs) == 5 {
+				ok++
+			}
+		} else {
+			resp.Body.Close()
+		}
+	}
+	if ok != n {
+		t.Fatalf("only %d/%d searches succeeded despite a healthy sibling", ok, n)
+	}
+	if f.retries.Value() == 0 {
+		t.Fatal("no retries recorded — the flaky replica was never hit")
+	}
+}
+
+// TestAllReplicasDown: when every replica of a shard fails, the front
+// answers 502 after the bounded retry, not a hang or a partial answer.
+func TestAllReplicasDown(t *testing.T) {
+	vecs := corpusRows(t, 113, 300, 8)
+	live := buildIndex(t, vecs)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	_, front := frontFor(t, Config{Shards: [][]string{
+		{backendFor(t, live).URL},
+		{dead.URL},
+	}})
+	resp := postJSON(t, front.URL+"/search", serve.SearchRequest{Vector: vecs[0], K: 5})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("HTTP %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestHealthExclusion: probing marks a dead backend unhealthy, the front
+// reports degraded, and a later sweep restores it.
+func TestHealthExclusion(t *testing.T) {
+	vecs := corpusRows(t, 127, 300, 8)
+	ix := buildIndex(t, vecs)
+	good := backendFor(t, ix)
+
+	var down sync.Mutex
+	failing := false
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		down.Lock()
+		f := failing
+		down.Unlock()
+		if f {
+			http.Error(w, "dead", http.StatusInternalServerError)
+			return
+		}
+		http.Redirect(w, r, good.URL+r.URL.Path, http.StatusTemporaryRedirect)
+	}))
+	defer proxy.Close()
+
+	f, front := frontFor(t, Config{Shards: [][]string{{proxy.URL, good.URL}}})
+
+	hz := decode[FrontHealthz](t, mustGet(t, front.URL+"/healthz"))
+	if hz.Status != "ok" || hz.HealthyBackends != 2 {
+		t.Fatalf("initial health %+v", hz)
+	}
+
+	down.Lock()
+	failing = true
+	down.Unlock()
+	f.ProbeHealth(context.Background())
+	resp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz = decode[FrontHealthz](t, resp)
+	if hz.HealthyBackends != 1 {
+		t.Fatalf("after failure: %+v, want 1 healthy", hz)
+	}
+	// Queries keep succeeding through the surviving sibling.
+	sresp := postJSON(t, front.URL+"/search", serve.SearchRequest{Vector: vecs[0], K: 5, Probes: 2})
+	r := decode[serve.SearchResponse](t, sresp)
+	if len(r.IDs) != 5 {
+		t.Fatalf("search degraded: %+v", r)
+	}
+
+	down.Lock()
+	failing = false
+	down.Unlock()
+	f.ProbeHealth(context.Background())
+	hz = decode[FrontHealthz](t, mustGet(t, front.URL+"/healthz"))
+	if hz.Status != "ok" || hz.HealthyBackends != 2 {
+		t.Fatalf("after recovery: %+v", hz)
+	}
+}
+
+// TestBackpressure: with MaxInFlight 1 and a slow backend, concurrent
+// requests are shed with 429 instead of queueing.
+func TestBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			_ = json.NewEncoder(w).Encode(serve.HealthzResponse{Status: "ok", IndexLoaded: true})
+			return
+		}
+		<-release
+		_ = json.NewEncoder(w).Encode(serve.SearchResponse{IDs: []int{0}, Distances: []float32{0}})
+	}))
+	defer slow.Close()
+
+	f, front := frontFor(t, Config{
+		Shards: [][]string{{slow.URL}}, MaxInFlight: 1, Timeout: 10 * time.Second,
+	})
+
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(started)
+		resp := postJSON(t, front.URL+"/search", serve.SearchRequest{Vector: []float32{1}, K: 1})
+		resp.Body.Close()
+	}()
+	<-started
+	// Wait until the in-flight slot is actually held.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(f.sem) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, front.URL+"/search", serve.SearchRequest{Vector: []float32{1}, K: 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want 429", resp.StatusCode)
+	}
+	if f.rejected.Value() == 0 {
+		t.Fatal("front_rejected_total not incremented")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestFrontMetrics: the front's /metrics scrape carries the per-backend
+// and fan-out series.
+func TestFrontMetrics(t *testing.T) {
+	vecs := corpusRows(t, 131, 300, 8)
+	union := buildIndex(t, vecs)
+	shards, err := union.Shard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, b1 := backendFor(t, shards[0]), backendFor(t, shards[1])
+	_, front := frontFor(t, Config{Shards: [][]string{{b0.URL}, {b1.URL}}})
+
+	resp := postJSON(t, front.URL+"/search", serve.SearchRequest{Vector: vecs[0], K: 5, Probes: 2})
+	resp.Body.Close()
+
+	mresp := mustGet(t, front.URL+"/metrics")
+	defer mresp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := mresp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := sb.String()
+	for _, series := range []string{
+		"front_fanout_total 2",
+		`front_backend_requests_total{backend="` + b0.URL + `"} 1`,
+		`front_backend_requests_total{backend="` + b1.URL + `"} 1`,
+		"front_healthy_backends 2",
+		"front_rejected_total 0",
+		"front_retries_total 0",
+		`http_requests_total{endpoint="/search"} 1`,
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("series %q missing from scrape:\n%s", series, body)
+		}
+	}
+}
+
+func mustGet(t testing.TB, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	return resp
+}

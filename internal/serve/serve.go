@@ -1,0 +1,519 @@
+// Package serve is the HTTP serving layer of one USP backend: the JSON
+// k-NN endpoints of cmd/uspserve, shared by the fan-out front (which
+// speaks the same wire types) and the in-process benchmarks.
+//
+// Request handling rides the lock-free query engine: every request
+// resolves the current engine (index + pooled searchers) from one atomic
+// load, so searches never contend with each other, with /add and /delete
+// mutations, with the background compactor — or with /reload, which
+// builds a complete replacement engine from a snapshot file and publishes
+// it with a single pointer swap. In-flight requests keep the engine they
+// resolved, so a rolling reload never fails or blocks a query.
+//
+// Validation is strict and classification is deliberate: malformed
+// requests and invalid parameters are rejected with 400 before touching
+// the engine, library validation errors (usp.ErrInvalid) map to 400,
+// usp.ErrNotFound to 404, and everything else to 500 — so a fan-out front
+// can retry 5xx against a sibling replica while never retrying a request
+// that is itself broken.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	usp "repro"
+	"repro/internal/telemetry"
+)
+
+// SearchRequest is the body of POST /search.
+type SearchRequest struct {
+	Vector []float32 `json:"vector"`
+	// K is the number of neighbors to return; required, must be >= 1.
+	K int `json:"k"`
+	// Probes is m', the number of bins scanned; 0 uses the engine default
+	// of 1, negative values are rejected.
+	Probes int `json:"probes"`
+	// RerankK is the quantized two-phase scan's exact re-rank depth
+	// (ignored on float-only indexes): 0 uses the server default, -1
+	// serves ADC-only distances, and any other negative is rejected.
+	RerankK int `json:"rerank_k"`
+}
+
+// SearchResponse is the body of a successful /search reply. IDs are
+// ordered by ascending distance (ties by ascending id) — the order the
+// fan-out merge relies on. IDOffset is the serving index's global id
+// base: a fan-out front adds it to each id, and because every response
+// carries it (rather than the front caching it from health probes), the
+// mapping can never go stale across a rolling reload.
+type SearchResponse struct {
+	IDs       []int     `json:"ids"`
+	Distances []float32 `json:"distances"`
+	IDOffset  int       `json:"id_offset"`
+	Scanned   int       `json:"scanned"`
+	Elapsed   string    `json:"elapsed"`
+}
+
+// BatchSearchRequest is the body of POST /search/batch; parameters carry
+// the same semantics as SearchRequest.
+type BatchSearchRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+	K       int         `json:"k"`
+	Probes  int         `json:"probes"`
+	RerankK int         `json:"rerank_k"`
+}
+
+// BatchSearchResponse is the body of a successful /search/batch reply.
+// IDOffset carries the same semantics as SearchResponse.IDOffset.
+type BatchSearchResponse struct {
+	IDs       [][]int     `json:"ids"`
+	Distances [][]float32 `json:"distances"`
+	IDOffset  int         `json:"id_offset"`
+	Elapsed   string      `json:"elapsed"`
+}
+
+// AddRequest is the body of POST /add.
+type AddRequest struct {
+	Vector []float32 `json:"vector"`
+}
+
+// AddResponse returns the id assigned to the added vector.
+type AddResponse struct {
+	ID int `json:"id"`
+}
+
+// DeleteRequest is the body of POST /delete.
+type DeleteRequest struct {
+	ID int `json:"id"`
+}
+
+// DeleteResponse acknowledges a tombstoned vector.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// SaveRequest names the snapshot file for POST /save, relative to the
+// server's data directory.
+type SaveRequest struct {
+	Path string `json:"path"`
+}
+
+// SaveResponse reports where a snapshot landed.
+type SaveResponse struct {
+	Path    string `json:"path"`
+	Bytes   int64  `json:"bytes"`
+	Elapsed string `json:"elapsed"`
+}
+
+// ReloadRequest names the snapshot file for POST /reload, relative to the
+// server's data directory.
+type ReloadRequest struct {
+	Path string `json:"path"`
+}
+
+// ReloadResponse reports the freshly published engine.
+type ReloadResponse struct {
+	Path       string `json:"path"`
+	Vectors    int    `json:"vectors"`
+	Dim        int    `json:"dim"`
+	Generation uint64 `json:"generation"`
+	Elapsed    string `json:"elapsed"`
+}
+
+// HealthzResponse is the body of GET /healthz. The fan-out front reads
+// IDOffset to map this backend's local result ids into the global id
+// space, and Generation to observe rolling reloads.
+type HealthzResponse struct {
+	Status          string  `json:"status"`
+	IndexLoaded     bool    `json:"index_loaded"`
+	Vectors         int     `json:"vectors"`
+	Dim             int     `json:"dim"`
+	IDOffset        int     `json:"id_offset"`
+	Generation      uint64  `json:"generation"`
+	Epoch           uint64  `json:"epoch"`
+	EpochAgeSeconds float64 `json:"epoch_age_seconds"`
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// DataDir confines /save and /reload: snapshot paths are resolved
+	// relative to it and may not escape it, so HTTP clients can neither
+	// overwrite nor load arbitrary files the process can reach.
+	// Empty means the current directory.
+	DataDir string
+	// RerankK is the default exact re-rank depth applied to quantized
+	// searches when the request leaves rerank_k unset (0 defers to the
+	// engine default of 4·k, -1 serves ADC-only).
+	RerankK int
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
+
+// engine bundles an index with its searcher pool. It is published as a
+// unit through one atomic pointer: handlers resolve it once per request,
+// so a /reload swap never mixes an old index with new searchers (whose
+// scratch buffers are index-shaped) or vice versa.
+type engine struct {
+	ix *usp.Index
+	// searchers recycles query contexts across requests: each Searcher
+	// owns the scratch buffers of one in-flight query, so steady-state
+	// request handling does not allocate on the search path.
+	searchers sync.Pool
+}
+
+func newEngine(ix *usp.Index) *engine {
+	e := &engine{ix: ix}
+	e.searchers.New = func() any { return ix.NewSearcher() }
+	return e
+}
+
+// Server is one servable USP backend. Construct with New; serve Mux().
+type Server struct {
+	eng     atomic.Pointer[engine]
+	cfg     Config
+	gen     atomic.Uint64 // /reload count; 0 until the first swap
+	reg     *telemetry.Registry
+	started time.Time
+}
+
+// New returns a Server serving ix under cfg.
+func New(ix *usp.Index, cfg Config) *Server {
+	if cfg.DataDir == "" {
+		cfg.DataDir = "."
+	}
+	s := &Server{cfg: cfg, reg: telemetry.NewRegistry(), started: time.Now()}
+	s.eng.Store(newEngine(ix))
+	return s
+}
+
+// Index returns the currently published index (it may change across calls
+// while /reload traffic is in flight).
+func (s *Server) Index() *usp.Index { return s.eng.Load().ix }
+
+// Generation returns the number of completed /reload swaps.
+func (s *Server) Generation() uint64 { return s.gen.Load() }
+
+// Registry exposes the server's HTTP metrics registry.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Mux assembles the routing table: every application endpoint behind the
+// per-endpoint metrics middleware, plus the observability endpoints
+// (/metrics, /healthz, and optionally /debug/pprof/) which are served
+// unwrapped so scrapes don't pollute the request metrics they read.
+func (s *Server) Mux() *http.ServeMux {
+	hm := telemetry.NewHTTPMetrics(s.reg)
+	mux := http.NewServeMux()
+	for path, h := range map[string]http.HandlerFunc{
+		"/search":       s.handleSearch,
+		"/search/batch": s.handleSearchBatch,
+		"/add":          s.handleAdd,
+		"/delete":       s.handleDelete,
+		"/compact":      s.handleCompact,
+		"/save":         s.handleSave,
+		"/reload":       s.handleReload,
+		"/stats":        s.handleStats,
+	} {
+		mux.HandleFunc(path, hm.Wrap(path, h))
+	}
+	// /metrics resolves the engine per scrape: after a reload it exposes
+	// the new index's query and lifecycle series, not the retired one's.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.Handler(s.reg, s.eng.Load().ix.Telemetry()).ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// statusFor maps an engine error to its HTTP status: library validation
+// failures are the caller's fault (400), unknown ids are 404, and
+// anything else is a server-side 500 — the class a fan-out front may
+// retry against a sibling replica.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, usp.ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, usp.ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// ValidateSearchParams enforces the request contract shared by /search
+// and /search/batch: k is required (no silent defaulting — a client that
+// sends k:0 almost certainly dropped the field, and quietly returning 10
+// results hides that bug); probes may be omitted (0 = engine default of
+// 1) but not negative; rerank_k admits exactly the meaningful values
+// (0 = server default, -1 = ADC-only, positive = explicit depth).
+func ValidateSearchParams(k, probes, rerankK int) error {
+	if k < 1 {
+		return fmt.Errorf("k must be >= 1 (got %d)", k)
+	}
+	if probes < 0 {
+		return fmt.Errorf("probes must be >= 0 (got %d; 0 uses the default of 1)", probes)
+	}
+	if rerankK < -1 {
+		return fmt.Errorf("rerank_k must be >= -1 (got %d; 0 uses the server default, -1 serves ADC-only)", rerankK)
+	}
+	return nil
+}
+
+// rerank resolves a request's rerank_k against the server default. Only
+// 0 (unset) defers; -1 and positive depths pass through verbatim.
+func (s *Server) rerank(requested int) int {
+	if requested != 0 {
+		return requested
+	}
+	return s.cfg.RerankK
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := ValidateSearchParams(req.K, req.Probes, req.RerankK); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	eng := s.eng.Load()
+	sr := eng.searchers.Get().(*usp.Searcher)
+	defer eng.searchers.Put(sr)
+	res, err := sr.Search(req.Vector, req.K, usp.SearchOptions{Probes: req.Probes, RerankK: s.rerank(req.RerankK)})
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	resp := SearchResponse{IDOffset: eng.ix.IDOffset(), Scanned: sr.Scanned(), Elapsed: time.Since(start).String()}
+	for _, n := range res {
+		resp.IDs = append(resp.IDs, n.ID)
+		resp.Distances = append(resp.Distances, n.Distance)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req BatchSearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := ValidateSearchParams(req.K, req.Probes, req.RerankK); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	eng := s.eng.Load()
+	results, err := eng.ix.SearchBatch(req.Vectors, req.K, usp.SearchOptions{Probes: req.Probes, RerankK: s.rerank(req.RerankK)})
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	resp := BatchSearchResponse{
+		IDs:       make([][]int, len(results)),
+		Distances: make([][]float32, len(results)),
+		IDOffset:  eng.ix.IDOffset(),
+	}
+	for i, res := range results {
+		ids := make([]int, len(res))
+		ds := make([]float32, len(res))
+		for j, n := range res {
+			ids[j], ds[j] = n.ID, n.Distance
+		}
+		resp.IDs[i], resp.Distances[i] = ids, ds
+	}
+	resp.Elapsed = time.Since(start).String()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req AddRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := s.eng.Load().ix.Add(req.Vector)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, AddResponse{ID: id})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req DeleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.eng.Load().ix.Delete(req.ID); err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	writeJSON(w, DeleteResponse{Deleted: true})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	ix := s.eng.Load().ix
+	ix.Compact()
+	writeJSON(w, map[string]any{
+		"elapsed":   time.Since(start).String(),
+		"lifecycle": ix.Lifecycle(),
+	})
+}
+
+// confine resolves a client-supplied snapshot path inside the data
+// directory, rejecting absolute paths and any traversal out of it.
+func (s *Server) confine(path string) (string, error) {
+	rel := filepath.Clean(path)
+	if filepath.IsAbs(rel) || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("path must stay inside the data directory")
+	}
+	return filepath.Join(s.cfg.DataDir, rel), nil
+}
+
+func (s *Server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SaveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+		http.Error(w, "bad request: need {\"path\": ...}", http.StatusBadRequest)
+		return
+	}
+	full, err := s.confine(req.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	if err := s.eng.Load().ix.SaveFile(full); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	info, err := os.Stat(full)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, SaveResponse{
+		Path: full, Bytes: info.Size(), Elapsed: time.Since(start).String(),
+	})
+}
+
+// handleReload loads a snapshot from the data directory and publishes it
+// as the serving engine in one atomic swap. Requests that resolved the
+// previous engine finish against it undisturbed; the swap happens only
+// after the new index loaded successfully, so a bad snapshot never
+// degrades a serving backend.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ReloadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Path == "" {
+		http.Error(w, "bad request: need {\"path\": ...}", http.StatusBadRequest)
+		return
+	}
+	full, err := s.confine(req.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	ix, err := usp.LoadFile(full)
+	if err != nil {
+		status := http.StatusBadRequest
+		if os.IsNotExist(err) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, "reload: "+err.Error(), status)
+		return
+	}
+	s.eng.Store(newEngine(ix))
+	gen := s.gen.Add(1)
+	log.Printf("reloaded %s: %d vectors of dim %d (generation %d)", full, ix.Len(), ix.Dim(), gen)
+	writeJSON(w, ReloadResponse{
+		Path: full, Vectors: ix.Len(), Dim: ix.Dim(),
+		Generation: gen, Elapsed: time.Since(start).String(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ix := s.eng.Load().ix
+	st := ix.Stats()
+	writeJSON(w, map[string]any{
+		"vectors":   ix.Len(),
+		"dim":       ix.Dim(),
+		"id_offset": ix.IDOffset(),
+		"bins":      st.Bins,
+		"models":    st.Models,
+		"params":    st.Params,
+		"lifecycle": ix.Lifecycle(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ix := s.eng.Load().ix
+	writeJSON(w, HealthzResponse{
+		Status:          "ok",
+		IndexLoaded:     true,
+		Vectors:         ix.Len(),
+		Dim:             ix.Dim(),
+		IDOffset:        ix.IDOffset(),
+		Generation:      s.gen.Load(),
+		Epoch:           ix.Lifecycle().Epoch,
+		EpochAgeSeconds: ix.EpochAge().Seconds(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}

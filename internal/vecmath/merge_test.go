@@ -1,0 +1,83 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMergeSortedNeighbors cross-checks the bounded k-way merge against the
+// reference construction a single process uses: push every candidate into
+// one TopK and drain it. With tie-free distances (the real case — squared
+// L2 over distinct float vectors) the two must agree bit-for-bit; that
+// equivalence is what makes sharded fan-out results identical to
+// single-process results.
+func TestMergeSortedNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nLists := 1 + rng.Intn(5)
+		k := 1 + rng.Intn(12)
+
+		refTK := NewTopK(k)
+		lists := make([][]Neighbor, nLists)
+		nextID := 0
+		for li := range lists {
+			n := rng.Intn(3 * k)
+			tk := NewTopK(k)
+			for i := 0; i < n; i++ {
+				d := rng.Float32() // continuous: exact ties have measure zero
+				tk.Push(nextID, d)
+				refTK.Push(nextID, d)
+				nextID++
+			}
+			lists[li] = tk.AppendSorted(nil)
+		}
+		ref := refTK.AppendSorted(nil)
+
+		got := MergeSortedNeighbors(nil, k, lists...)
+		if len(got) != len(ref) {
+			t.Fatalf("trial %d: merged %d neighbors, want %d", trial, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: position %d: got %+v want %+v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMergeSortedNeighborsTies pins the cross-list tie-break: equal
+// distances resolve by ascending index, regardless of which list holds them.
+func TestMergeSortedNeighborsTies(t *testing.T) {
+	a := []Neighbor{{Index: 4, Dist: 1}, {Index: 9, Dist: 2}}
+	b := []Neighbor{{Index: 2, Dist: 1}, {Index: 3, Dist: 2}}
+	got := MergeSortedNeighbors(nil, 3, a, b)
+	want := []Neighbor{{Index: 2, Dist: 1}, {Index: 4, Dist: 1}, {Index: 3, Dist: 2}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeSortedNeighborsEdges(t *testing.T) {
+	if out := MergeSortedNeighbors(nil, 0, []Neighbor{{1, 1}}); len(out) != 0 {
+		t.Fatal("k=0 must merge nothing")
+	}
+	if out := MergeSortedNeighbors(nil, 3); len(out) != 0 {
+		t.Fatal("no lists must merge nothing")
+	}
+	dst := []Neighbor{{99, 0}}
+	out := MergeSortedNeighbors(dst, 2, []Neighbor{{1, 1}, {2, 2}, {3, 3}})
+	if len(out) != 3 || out[0] != (Neighbor{99, 0}) || out[1] != (Neighbor{1, 1}) || out[2] != (Neighbor{2, 2}) {
+		t.Fatalf("append semantics wrong: %+v", out)
+	}
+	// Wide merge exercises the allocated-cursor path.
+	lists := make([][]Neighbor, 20)
+	for i := range lists {
+		lists[i] = []Neighbor{{Index: i, Dist: float32(i)}}
+	}
+	out = MergeSortedNeighbors(nil, 5, lists...)
+	if len(out) != 5 || out[0].Index != 0 || out[4].Index != 4 {
+		t.Fatalf("wide merge wrong: %+v", out)
+	}
+}

@@ -145,6 +145,47 @@ func sortNeighbors(ns []Neighbor) {
 	slices.SortFunc(ns, compareNeighbors)
 }
 
+// MergeSortedNeighbors appends to dst the k best neighbors across the given
+// lists and returns it. Every list must already be sorted by (Dist asc,
+// Index asc) — the order TopK.AppendSorted and Sorted emit — and the output
+// preserves exactly that ordering, so merging the per-shard top-k lists of a
+// fanned-out query is bit-identical to running one TopK over the union of
+// the shards' candidates: ties at the cut are broken by ascending Index, the
+// same rule compareNeighbors applies everywhere else in the library. The
+// merge is bounded: it performs at most k selection steps over len(lists)
+// cursors and allocates nothing beyond growth of dst.
+func MergeSortedNeighbors(dst []Neighbor, k int, lists ...[]Neighbor) []Neighbor {
+	if k <= 0 {
+		return dst
+	}
+	// Cursor state lives in a small stack array for the common fan-out
+	// widths; fall back to an allocation only for very wide merges.
+	var curArr [16]int
+	var cur []int
+	if len(lists) <= len(curArr) {
+		cur = curArr[:len(lists)]
+	} else {
+		cur = make([]int, len(lists))
+	}
+	for taken := 0; taken < k; taken++ {
+		best := -1
+		for li, l := range lists {
+			if cur[li] >= len(l) {
+				continue
+			}
+			if best < 0 || compareNeighbors(l[cur[li]], lists[best][cur[best]]) < 0 {
+				best = li
+			}
+		}
+		if best < 0 {
+			break // all lists exhausted
+		}
+		dst = append(dst, lists[best][cur[best]])
+		cur[best]++
+	}
+	return dst
+}
+
 // TopKIndices returns the indices of the k largest values of x in descending
 // value order (ties broken by ascending index). If k exceeds len(x), all
 // indices are returned. Used to pick the m′ most probable bins from a model's

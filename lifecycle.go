@@ -189,7 +189,7 @@ func (ix *Index) spillSnapshot(total int) *spillSet {
 // partition quality; rebuild periodically under churn.
 func (ix *Index) Add(vec []float32) (int, error) {
 	if len(vec) != ix.dim {
-		return 0, fmt.Errorf("usp: vector dim %d, index dim %d", len(vec), ix.dim)
+		return 0, fmt.Errorf("%w: vector dim %d, index dim %d", ErrInvalid, len(vec), ix.dim)
 	}
 	// Route before taking the writer lock: the trained models are immutable,
 	// so the forward passes need no exclusivity. Only the appends (dataset
@@ -276,12 +276,12 @@ func (ix *Index) Delete(id int) error {
 	ix.wmu.Lock()
 	if id < 0 || id >= ix.data.N {
 		ix.wmu.Unlock()
-		return fmt.Errorf("usp: delete id %d out of range [0, %d)", id, ix.data.N)
+		return fmt.Errorf("%w: delete id %d out of range [0, %d)", ErrNotFound, id, ix.data.N)
 	}
 	prev := ix.live.Load()
 	if prev.tombs.Has(id) || prev.deadSet.Has(id) {
 		ix.wmu.Unlock()
-		return fmt.Errorf("usp: id %d already deleted", id)
+		return fmt.Errorf("%w: id %d already deleted", ErrNotFound, id)
 	}
 	ix.publish(&epoch{
 		seq: prev.seq + 1, data: prev.data, ens: prev.ens, hier: prev.hier,

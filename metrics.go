@@ -125,7 +125,7 @@ func newIndexMetrics(ix *Index) *indexMetrics {
 }
 
 // Telemetry returns the index's metric registry, for mounting on an
-// exposition endpoint (see examples/server) or programmatic scraping.
+// exposition endpoint (see cmd/uspserve) or programmatic scraping.
 func (ix *Index) Telemetry() *telemetry.Registry { return ix.tel.reg }
 
 // EpochAge returns the time since the live epoch was published — how stale

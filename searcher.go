@@ -1,7 +1,6 @@
 package usp
 
 import (
-	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -79,11 +78,11 @@ func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOption
 	ix := s.ix
 	if k <= 0 {
 		ix.tel.queryErrors.Inc()
-		return nil, errors.New("usp: k must be positive")
+		return nil, fmt.Errorf("%w: k must be positive", ErrInvalid)
 	}
 	if len(q) != ix.dim {
 		ix.tel.queryErrors.Inc()
-		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.dim)
+		return nil, fmt.Errorf("%w: query dim %d, index dim %d", ErrInvalid, len(q), ix.dim)
 	}
 	probes := opt.Probes
 	if probes <= 0 {
@@ -194,11 +193,11 @@ func (ix *Index) putSearcher(s *Searcher) { ix.searchers.Put(s) }
 // each query in the batch resolves its own epoch snapshot.
 func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions) ([][]Result, error) {
 	if k <= 0 {
-		return nil, errors.New("usp: k must be positive")
+		return nil, fmt.Errorf("%w: k must be positive", ErrInvalid)
 	}
 	for i, q := range queries {
 		if len(q) != ix.dim {
-			return nil, fmt.Errorf("usp: query %d dim %d, index dim %d", i, len(q), ix.dim)
+			return nil, fmt.Errorf("%w: query %d dim %d, index dim %d", ErrInvalid, i, len(q), ix.dim)
 		}
 	}
 	out := make([][]Result, len(queries))

@@ -81,6 +81,9 @@ type snapOptions struct {
 	// Quant is the resolved quantization config (zero value — disabled —
 	// when decoding snapshots written before the quant section existed).
 	Quant Quantization
+	// IDOffset is the shard's global id base (see Index.IDOffset); zero for
+	// unsharded indexes and for snapshots written before sharding existed.
+	IDOffset int
 }
 
 // Save writes a self-contained snapshot of the index to w. It snapshots
@@ -99,7 +102,7 @@ func (ix *Index) Save(w io.Writer) error {
 		Logistic: o.Logistic, Hierarchy: o.Hierarchy, Seed: o.Seed,
 		Shards: o.Shards, CompactAfter: o.CompactAfter,
 		Stats: ix.stats, Dead: ep.dead(), Epoch: ep.seq,
-		Quant: o.Quantize,
+		Quant: o.Quantize, IDOffset: ix.idOffset,
 	}
 	if err := gob.NewEncoder(&optBuf).Encode(so); err != nil {
 		return fmt.Errorf("usp: encoding options: %w", err)
@@ -457,7 +460,9 @@ func Load(r io.Reader) (*Index, error) {
 	if pq == nil {
 		opt.Quantize.Enabled = false
 	}
-	return newIndex(ds, ens, hier, opt, so.Stats, so.Epoch, tombs, deadSet, pq, codes), nil
+	ix := newIndex(ds, ens, hier, opt, so.Stats, so.Epoch, tombs, deadSet, pq, codes)
+	ix.idOffset = so.IDOffset
+	return ix, nil
 }
 
 // LoadFile reads a snapshot file written by SaveFile.

@@ -42,6 +42,17 @@ import (
 	"repro/internal/quant"
 )
 
+// ErrInvalid marks errors caused by an invalid caller-supplied argument
+// (non-positive k, negative probes, a query or vector of the wrong
+// dimension). HTTP layers map errors.Is(err, ErrInvalid) to 400 so clients
+// — and the fan-out front's retry logic — can tell a request they must fix
+// from a server fault worth retrying on a replica.
+var ErrInvalid = errors.New("usp: invalid argument")
+
+// ErrNotFound marks errors about an id that does not exist (or no longer
+// exists) in the index, such as deleting an unknown or already-deleted id.
+var ErrNotFound = errors.New("usp: not found")
+
 // Options configures Build.
 type Options struct {
 	// Bins is the number of partition cells m (default 16). When
@@ -298,6 +309,12 @@ type Index struct {
 	// epoch-age gauge and /healthz.
 	tel         *indexMetrics
 	publishedAt atomic.Int64
+
+	// idOffset is the global id of local row 0 — set by Shard on the split
+	// indexes (and restored from their snapshots) so a fan-out front can map
+	// shard-local result ids back to the parent's id space. Immutable after
+	// construction.
+	idOffset int
 }
 
 // Build trains a USP index over the given vectors (all of equal length).
@@ -409,7 +426,7 @@ func (ix *Index) Dim() int { return ix.dim }
 // ids are filtered out.
 func (ix *Index) CandidateSet(q []float32, opt SearchOptions) ([]int, error) {
 	if len(q) != ix.dim {
-		return nil, fmt.Errorf("usp: query dim %d, index dim %d", len(q), ix.dim)
+		return nil, fmt.Errorf("%w: query dim %d, index dim %d", ErrInvalid, len(q), ix.dim)
 	}
 	probes := opt.Probes
 	if probes <= 0 {
