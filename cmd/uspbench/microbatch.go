@@ -1,0 +1,108 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	usp "repro"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// microbatchBench is the server-side micro-batching section of the serving
+// report: the same concurrent client load driven through serve.Server's
+// policy entry point at a sweep of batch-window settings, window 0 being
+// the no-scheduler baseline every other point is compared against.
+type microbatchBench struct {
+	Clients int               `json:"clients"`
+	K       int               `json:"k"`
+	Probes  int               `json:"probes"`
+	Points  []microbatchPoint `json:"points"`
+}
+
+// microbatchPoint is one batch-window setting of the sweep.
+type microbatchPoint struct {
+	WindowUs float64 `json:"window_us"`
+	QPS      float64 `json:"qps"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+	// MeanBatch is usp_batch_size sum/count — the average number of
+	// requests per scheduler flush (0 when the scheduler is off).
+	MeanBatch float64 `json:"mean_batch"`
+	// Flush counts by trigger, from usp_batch_flush_total. "fast" is the
+	// group-commit flush taken when every in-flight request is already in
+	// the batch.
+	FlushFull   uint64 `json:"flush_full"`
+	FlushFast   uint64 `json:"flush_fast"`
+	FlushWindow uint64 `json:"flush_window"`
+	FlushDrain  uint64 `json:"flush_drain"`
+}
+
+// runMicrobatchBench sweeps the micro-batch collection window under a fixed
+// concurrent load, in-process (no HTTP) so the scheduler itself is what is
+// measured.
+func runMicrobatchBench(ix *usp.Index, qrows [][]float32, k, probes int, logf func(string, ...any)) (*microbatchBench, error) {
+	const clients, rounds = 8, 4
+	rep := &microbatchBench{Clients: clients, K: k, Probes: probes}
+	for _, window := range []time.Duration{0, 100 * time.Microsecond, 250 * time.Microsecond, 500 * time.Microsecond} {
+		logf("serving bench: micro-batch point window=%s...", window)
+		s := serve.New(ix, serve.Config{BatchWindow: window, BatchMax: 64})
+		hists := make([]*telemetry.Histogram, clients)
+		for c := range hists {
+			hists[c] = telemetry.NewHistogram("bench_mb_latency_seconds", "", "", telemetry.NanosToSeconds)
+		}
+		var (
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			firstErr error
+		)
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				lat := hists[c]
+				off := c * 17 % len(qrows)
+				for r := 0; r < rounds; r++ {
+					for qi := range qrows {
+						qStart := time.Now()
+						if _, _, err := s.Search(qrows[(qi+off)%len(qrows)], k, probes, 0); err != nil {
+							errOnce.Do(func() { firstErr = err })
+							return
+						}
+						lat.ObserveDuration(time.Since(qStart))
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		s.Close()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		merged := hists[0]
+		for _, h := range hists[1:] {
+			merged.Merge(h)
+		}
+		pt := microbatchPoint{
+			WindowUs: float64(window) / 1e3,
+			QPS:      float64(clients*rounds*len(qrows)) / elapsed,
+			P50Us:    merged.Quantile(0.50) / 1e3,
+			P99Us:    merged.Quantile(0.99) / 1e3,
+		}
+		if window > 0 {
+			reg := s.Registry()
+			bs := reg.Histogram("usp_batch_size", "", "Requests per micro-batch scheduler flush.", 1)
+			if n := bs.Count(); n > 0 {
+				pt.MeanBatch = float64(bs.Sum()) / float64(n)
+			}
+			pt.FlushFull = reg.Counter("usp_batch_flush_total", `reason="full"`, "Micro-batch flushes by trigger.").Value()
+			pt.FlushFast = reg.Counter("usp_batch_flush_total", `reason="fast"`, "Micro-batch flushes by trigger.").Value()
+			pt.FlushWindow = reg.Counter("usp_batch_flush_total", `reason="window"`, "Micro-batch flushes by trigger.").Value()
+			pt.FlushDrain = reg.Counter("usp_batch_flush_total", `reason="drain"`, "Micro-batch flushes by trigger.").Value()
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}

@@ -57,6 +57,10 @@ type servingBench struct {
 	// goroutine) per processor. On machines with fewer physical cores the
 	// curve records saturation rather than speedup — num_cpu says which.
 	Scaling []scalingPoint `json:"scaling"`
+	// Microbatch is the server-side micro-batching sweep: concurrent
+	// clients through serve.Server at several batch-window settings,
+	// window 0 being the scheduler-off baseline.
+	Microbatch *microbatchBench `json:"microbatch,omitempty"`
 	// Quantized is the ADC serving-path report (-quantized flag); nil when
 	// the quantized benchmark was not requested.
 	Quantized *quantizedBench `json:"quantized,omitempty"`
@@ -204,6 +208,11 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 	}
 	runtime.GOMAXPROCS(prevProcs)
 
+	mrep, err := runMicrobatchBench(ix, qrows, k, probes, logf)
+	if err != nil {
+		return fmt.Errorf("microbatch benchmark: %w", err)
+	}
+
 	var qrep *quantizedBench
 	if cfg.Quantized {
 		if qrep, err = runQuantizedBench(cfg, logf); err != nil {
@@ -238,6 +247,7 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		AllocsPerOp:   allocs,
 		AvgCandidates: float64(candTotal) / float64(len(qrows)),
 		Scaling:       scaling,
+		Microbatch:    mrep,
 		Quantized:     qrep,
 		Fanout:        frep,
 	}
@@ -253,6 +263,10 @@ func runServingBench(path string, cfg servingBenchConfig, logf func(string, ...a
 		vecmath.Impl(), qpsSingle, rep.LatencyP50Us, rep.LatencyP95Us, rep.LatencyP99Us, qpsBatch, recall, allocs, path)
 	for _, sp := range scaling {
 		fmt.Printf("  scaling: gomaxprocs=%-2d clients=%-2d qps=%.0f p99=%.1fus\n", sp.GoMaxProcs, sp.Clients, sp.QPS, sp.P99Us)
+	}
+	for _, pt := range mrep.Points {
+		fmt.Printf("  microbatch: window=%-5.0fus qps=%.0f p50=%.1fus p99=%.1fus mean_batch=%.2f flushes full/fast/window/drain=%d/%d/%d/%d\n",
+			pt.WindowUs, pt.QPS, pt.P50Us, pt.P99Us, pt.MeanBatch, pt.FlushFull, pt.FlushFast, pt.FlushWindow, pt.FlushDrain)
 	}
 	if qrep != nil {
 		fmt.Printf("quantized: n=%d m=%d k=%d bytes/vec=%d (%.0f×) qps=%.0f recall@10=%.3f allocs/op=%.1f tight: qps=%.0f recall@10=%.3f\n",

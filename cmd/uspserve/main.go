@@ -9,7 +9,10 @@
 // The endpoint surface lives in internal/serve; highlights:
 //
 //	/search, /search/batch  k-NN queries (strict validation, 400 on bad
-//	                        parameters, 500 only for server-side faults)
+//	                        parameters, 500 only for server-side faults);
+//	                        -batch-window enables the micro-batch
+//	                        scheduler that aggregates concurrent /search
+//	                        requests into staged SearchBatch calls
 //	/add, /delete, /compact index mutations
 //	/save                   snapshot to disk, confined to -data-dir
 //	/reload                 atomically swap in a snapshot from -data-dir
@@ -58,6 +61,8 @@ func main() {
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quantized := flag.Bool("quantized", false, "train the demo corpus with PQ codebooks and serve via the quantized (ADC) scan")
 	rerankK := flag.Int("rerank-k", 0, "default exact re-rank depth for quantized searches (0 = engine default, -1 = ADC only)")
+	batchWindow := flag.Duration("batch-window", 0, "micro-batch collection window for concurrent /search requests (0 disables the scheduler)")
+	batchMax := flag.Int("batch-max", 0, "max requests per micro-batch flush (0 = 64; only with -batch-window)")
 	demo := flag.Bool("demo", false, "self-test: start, query, exit")
 	flag.Parse()
 
@@ -98,7 +103,14 @@ func main() {
 		defer os.RemoveAll(demoDir)
 		*dataDir = demoDir
 	}
-	s := serve.New(ix, serve.Config{DataDir: *dataDir, RerankK: *rerankK, Pprof: *withPprof})
+	s := serve.New(ix, serve.Config{
+		DataDir: *dataDir, RerankK: *rerankK, Pprof: *withPprof,
+		BatchWindow: *batchWindow, BatchMax: *batchMax,
+	})
+	defer s.Close()
+	if *batchWindow > 0 {
+		log.Printf("micro-batch scheduler on: window %s, max %d requests/flush", *batchWindow, *batchMax)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/vecmath"
+)
+
+// Batched routing: the micro-batching pipeline's engine stage. A worker
+// stages a chunk of queries into one row-major matrix, runs every router
+// model's forward pass once for the whole chunk (RouteBatch — one dispatched
+// MatMul per Dense layer instead of a row of AXPY loops per query), then
+// gathers each query's candidate set from the precomputed distributions
+// (AppendCandidatesRowBatch). Every per-row result is bit-identical to the
+// single-query AppendCandidates path: batch and single-row inference share
+// the same dispatched microkernels and accumulation order, and the
+// selection/dedup arithmetic below mirrors the single-row code line for
+// line.
+
+// BatchScratch owns every buffer batched routing needs for one worker: the
+// staged query matrix, the batched-inference buffers, per-member (or
+// per-tree-depth) probability matrices, the per-row bin selection, and the
+// generation-stamped visited set for union probing. One scratch serves one
+// goroutine; after warm-up, routing a chunk performs no allocation beyond
+// growth of the caller's candidate slice.
+//
+// The zero value is ready to use. Buffers grow on demand and are retained.
+type BatchScratch struct {
+	// Infer backs batched model inference (nn.PredictBatchInto).
+	Infer nn.BatchInferScratch
+
+	q tensor.Matrix // staged query rows (filled by the caller via Stage)
+
+	memberProbs [][]float32 // per ensemble member: rows×M distributions, flat row-major
+	bestIdx     []int       // best-confidence member per row (-1: none selected)
+
+	leaf     []float32   // hierarchy: rows×NumBins leaf distributions, flat
+	nodeProb [][]float32 // hierarchy: per-depth node distributions, flat rows×m
+	pathProb [][]float32 // hierarchy: per-depth per-row accumulated path products
+
+	bins []int // selected top-m′ bins for the row being appended
+
+	// seen/gen implement the same O(1)-reset visited set as QueryScratch
+	// for UnionProbe dedup.
+	seen []uint32
+	gen  uint32
+}
+
+func growFloats(buf []float32, n int) []float32 {
+	if cap(buf) < n {
+		return make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// Stage prepares the scratch for a batch of n queries of width dim and
+// returns the row-major backing buffer (n*dim floats) for the caller to
+// fill before calling RouteBatch.
+func (bs *BatchScratch) Stage(n, dim int) []float32 {
+	bs.q.Rows, bs.q.Cols = n, dim
+	bs.q.Data = growFloats(bs.q.Data, n*dim)
+	return bs.q.Data
+}
+
+// Rows reports the number of staged queries.
+func (bs *BatchScratch) Rows() int { return bs.q.Rows }
+
+func (bs *BatchScratch) beginSeen(n int) uint32 {
+	if len(bs.seen) < n {
+		bs.seen = make([]uint32, n)
+		bs.gen = 0
+	}
+	bs.gen++
+	if bs.gen == 0 {
+		for i := range bs.seen {
+			bs.seen[i] = 0
+		}
+		bs.gen = 1
+	}
+	return bs.gen
+}
+
+// pathBuf returns the per-row path-product buffer for tree depth d, sized
+// to n rows.
+func (bs *BatchScratch) pathBuf(d, n int) []float32 {
+	for len(bs.pathProb) <= d {
+		bs.pathProb = append(bs.pathProb, nil)
+	}
+	bs.pathProb[d] = growFloats(bs.pathProb[d], n)
+	return bs.pathProb[d]
+}
+
+// nodeBufB returns the node-distribution buffer for tree depth d.
+func (bs *BatchScratch) nodeBufB(d int) []float32 {
+	for len(bs.nodeProb) <= d {
+		bs.nodeProb = append(bs.nodeProb, nil)
+	}
+	return bs.nodeProb[d]
+}
+
+// RouteBatch runs the partitioner's forward pass over the staged batch.
+// After it returns, AppendCandidatesRowBatch serves any staged row.
+func (p *Partitioner) RouteBatch(bs *BatchScratch) {
+	if len(bs.memberProbs) == 0 {
+		bs.memberProbs = append(bs.memberProbs, nil)
+	}
+	bs.memberProbs[0] = p.Model.PredictBatchInto(bs.memberProbs[0], &bs.q, &bs.Infer)
+}
+
+// AppendCandidatesRowBatch appends staged row i's candidate set — the ids
+// in its mPrime most probable bins — to dst, bit-identical to
+// AppendCandidates on the same query.
+func (p *Partitioner) AppendCandidatesRowBatch(dst []int32, i, mPrime int, bs *BatchScratch) []int32 {
+	row := bs.memberProbs[0][i*p.M : (i+1)*p.M]
+	bs.bins = vecmath.TopKIndicesInto(bs.bins, row, mPrime)
+	for _, b := range bs.bins {
+		dst = p.AppendBin(dst, b)
+	}
+	return dst
+}
+
+// RouteBatch runs every ensemble member's forward pass over the staged
+// batch — the whole chunk's routing inference in len(Parts) dispatched
+// batched passes — and, in best-confidence mode, records each row's
+// highest-confidence member. Algorithm 4's member selection compares the
+// same top-probability values in the same member order as the single-row
+// path, so the selected member (and therefore the candidate set) is
+// identical; a row whose distributions are all NaN selects no member,
+// matching the single-row path's empty candidate set.
+func (e *Ensemble) RouteBatch(bs *BatchScratch, mode ProbeMode) {
+	n := bs.q.Rows
+	for len(bs.memberProbs) < len(e.Parts) {
+		bs.memberProbs = append(bs.memberProbs, nil)
+	}
+	for m, p := range e.Parts {
+		bs.memberProbs[m] = p.Model.PredictBatchInto(bs.memberProbs[m], &bs.q, &bs.Infer)
+	}
+	if mode != BestConfidence {
+		return
+	}
+	if cap(bs.bestIdx) < n {
+		bs.bestIdx = make([]int, n)
+	}
+	bs.bestIdx = bs.bestIdx[:n]
+	for i := 0; i < n; i++ {
+		bestIdx := -1
+		bestConf := float32(-1)
+		for m, p := range e.Parts {
+			row := bs.memberProbs[m][i*p.M : (i+1)*p.M]
+			if c := row[vecmath.ArgMax(row)]; c > bestConf {
+				bestConf = c
+				bestIdx = m
+			}
+		}
+		bs.bestIdx[i] = bestIdx
+	}
+}
+
+// AppendCandidatesRowBatch appends staged row i's ensemble candidate set to
+// dst using the distributions RouteBatch computed, bit-identical to
+// AppendCandidatesExtra on the same query (same top-k selection on the same
+// probability bits, same append order, same first-occurrence dedup).
+func (e *Ensemble) AppendCandidatesRowBatch(dst []int32, i, mPrime int, mode ProbeMode, bs *BatchScratch, n int, extra ExtraBins) []int32 {
+	switch mode {
+	case BestConfidence:
+		m := bs.bestIdx[i]
+		if m < 0 {
+			return dst
+		}
+		p := e.Parts[m]
+		row := bs.memberProbs[m][i*p.M : (i+1)*p.M]
+		bs.bins = vecmath.TopKIndicesInto(bs.bins, row, mPrime)
+		for _, b := range bs.bins {
+			dst = p.AppendBin(dst, b)
+			if extra != nil {
+				dst = extra.AppendExtra(dst, m, b)
+			}
+		}
+		return dst
+	case UnionProbe:
+		gen := bs.beginSeen(n)
+		for m, p := range e.Parts {
+			row := bs.memberProbs[m][i*p.M : (i+1)*p.M]
+			bs.bins = vecmath.TopKIndicesInto(bs.bins, row, mPrime)
+			for _, b := range bs.bins {
+				mark := len(dst)
+				dst = p.AppendBin(dst, b)
+				if extra != nil {
+					dst = extra.AppendExtra(dst, m, b)
+				}
+				w := mark
+				for _, id := range dst[mark:] {
+					if bs.seen[id] != gen {
+						bs.seen[id] = gen
+						dst[w] = id
+						w++
+					}
+				}
+				dst = dst[:w]
+			}
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("core: unknown probe mode %d", mode))
+	}
+}
+
+// RouteBatch walks the tree once for the whole staged batch: each node's
+// model runs a single batched forward pass, and the per-row root→leaf
+// probability products accumulate through per-depth buffers in the same
+// multiplication order as the single-row walk, filling the rows×NumBins
+// leaf distribution.
+func (h *Hierarchy) RouteBatch(bs *BatchScratch) {
+	n := bs.q.Rows
+	bs.leaf = growFloats(bs.leaf, n*h.NumBins)
+	root := bs.pathBuf(0, n)
+	for i := range root {
+		root[i] = 1
+	}
+	h.walkNodeBatch(bs, h.root, 0, n)
+}
+
+// walkNodeBatch is walkNode over a staged batch. Each depth owns one node
+// buffer and one path buffer: a parent's distribution and path products
+// stay live while its children recurse, but siblings at the same depth can
+// share — the same per-depth discipline as the single-row walk.
+func (h *Hierarchy) walkNodeBatch(bs *BatchScratch, nd *hnode, depth, n int) {
+	w := nd.part.M
+	probs := nd.part.Model.PredictBatchInto(bs.nodeBufB(depth), &bs.q, &bs.Infer)
+	bs.nodeProb[depth] = probs // retain the grown buffer
+	if h.ProbeTemp > 1 {
+		for i := 0; i < n; i++ {
+			soften(probs[i*w:(i+1)*w], h.ProbeTemp)
+		}
+	}
+	path := bs.pathProb[depth]
+	if nd.children == nil {
+		for i := 0; i < n; i++ {
+			row := probs[i*w : (i+1)*w]
+			out := bs.leaf[i*h.NumBins+nd.leafBase:]
+			pi := path[i]
+			for b, pb := range row {
+				out[b] = pi * pb
+			}
+		}
+		return
+	}
+	for b, child := range nd.children {
+		cp := bs.pathBuf(depth+1, n)
+		for i := 0; i < n; i++ {
+			cp[i] = path[i] * probs[i*w+b]
+		}
+		h.walkNodeBatch(bs, child, depth+1, n)
+	}
+}
+
+// AppendCandidatesRowBatch appends staged row i's hierarchy candidate set —
+// the lookup lists of its mPrime most probable leaf bins plus any
+// post-epoch inserts from extra — to dst, bit-identical to
+// AppendCandidatesExtra on the same query.
+func (h *Hierarchy) AppendCandidatesRowBatch(dst []int32, i, mPrime int, bs *BatchScratch, extra ExtraBins) []int32 {
+	row := bs.leaf[i*h.NumBins : (i+1)*h.NumBins]
+	bs.bins = vecmath.TopKIndicesInto(bs.bins, row, mPrime)
+	for _, b := range bs.bins {
+		dst = append(dst, h.Bins[b]...)
+		if extra != nil {
+			dst = extra.AppendExtra(dst, 0, b)
+		}
+	}
+	return dst
+}

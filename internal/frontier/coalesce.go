@@ -1,0 +1,138 @@
+// In-flight coalescing and result caching for the front's /search.
+//
+// Coalescing (singleflight): concurrent requests with the same search key
+// — vector bits, k, probes, rerank_k — share one backend fan-out. The
+// first request becomes the leader and executes the fan-out under a
+// context detached from its own client (so a leader disconnect cannot
+// fail the followers); everyone waiting on the key receives the same
+// merged response struct, hence byte-identical bodies.
+//
+// Caching: an optional LRU keyed by the same search key, enabled with
+// Config.CacheSize > 0. Entries are stamped with the front's cache
+// generation at fill time and are valid only while the generation is
+// unchanged. The generation bumps whenever any backend's /healthz
+// reports a new snapshot generation or id offset, and on every write the
+// front itself routes — so a /reload, /add, or /delete anywhere in the
+// fleet invalidates the whole cache at the cost of one atomic increment,
+// with stale entries evicted lazily on lookup.
+package frontier
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/serve"
+)
+
+// searchKey builds the coalescing/cache identity of a search: the exact
+// float32 bit patterns of the vector plus every parameter that changes
+// the answer. Two requests with the same key are interchangeable.
+func searchKey(vec []float32, k, probes, rerankK int) string {
+	b := make([]byte, 12+4*len(vec))
+	binary.LittleEndian.PutUint32(b[0:], uint32(k))
+	binary.LittleEndian.PutUint32(b[4:], uint32(probes))
+	binary.LittleEndian.PutUint32(b[8:], uint32(rerankK))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint32(b[12+4*i:], math.Float32bits(v))
+	}
+	return string(b)
+}
+
+// flight is one in-progress fan-out shared by every request with the same
+// key. done closes after resp/err are set.
+type flight struct {
+	done chan struct{}
+	resp serve.SearchResponse
+	err  error
+}
+
+// joinFlight returns the flight registered for key, creating it (leader
+// = true) if none is in progress.
+func (f *Front) joinFlight(key string) (*flight, bool) {
+	f.flightMu.Lock()
+	defer f.flightMu.Unlock()
+	if fl, ok := f.flights[key]; ok {
+		f.coalesced.Inc()
+		return fl, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	f.flights[key] = fl
+	return fl, true
+}
+
+// finishFlight publishes the leader's outcome and wakes the followers.
+func (f *Front) finishFlight(key string, fl *flight, resp serve.SearchResponse, err error) {
+	fl.resp, fl.err = resp, err
+	f.flightMu.Lock()
+	delete(f.flights, key)
+	f.flightMu.Unlock()
+	close(fl.done)
+}
+
+// cacheEntry is one cached merged answer, valid while gen matches the
+// front's current cache generation.
+type cacheEntry struct {
+	key  string
+	gen  uint64
+	resp serve.SearchResponse
+}
+
+// resultCache is a mutex-guarded LRU over merged search responses.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), m: make(map[string]*list.Element, max)}
+}
+
+// get returns the cached response for key if present and filled at the
+// current generation; a stale-generation entry is evicted on sight.
+func (c *resultCache) get(key string, gen uint64) (serve.SearchResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return serve.SearchResponse{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		return serve.SearchResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	return e.resp, true
+}
+
+// put stores resp under key at generation gen, evicting the least
+// recently used entry beyond capacity.
+func (c *resultCache) put(key string, gen uint64, resp serve.SearchResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.gen, e.resp = gen, resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, resp: resp})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of resident entries (stale ones included until
+// their lazy eviction). Intended for tests.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

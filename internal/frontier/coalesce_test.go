@@ -1,0 +1,244 @@
+package frontier
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// countProxy forwards to target, counting /search arrivals. When gated,
+// every /search blocks until release closes; arrived signals the first
+// one reaching the backend.
+type countProxy struct {
+	target   *httptest.Server
+	searches atomic.Int64
+	gated    bool
+	arrived  chan struct{}
+	release  chan struct{}
+	once     sync.Once
+}
+
+func newCountProxy(target *httptest.Server, gated bool) *countProxy {
+	return &countProxy{
+		target: target, gated: gated,
+		arrived: make(chan struct{}), release: make(chan struct{}),
+	}
+}
+
+func (p *countProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/search" {
+		p.searches.Add(1)
+		p.once.Do(func() { close(p.arrived) })
+		if p.gated {
+			<-p.release
+		}
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target.URL+r.URL.Path, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// rawPost returns the status and the raw response bytes, so bodies can be
+// compared byte for byte.
+func rawPost(t testing.TB, url string, body any) (int, []byte) {
+	t.Helper()
+	resp := postJSON(t, url, body)
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// TestCoalescingSingleFanout pins the satellite criterion: identical
+// concurrent queries produce exactly one backend fan-out and
+// byte-identical answer bodies.
+func TestCoalescingSingleFanout(t *testing.T) {
+	vecs := corpusRows(t, 137, 300, 8)
+	ix := buildIndex(t, vecs)
+	proxy := newCountProxy(backendFor(t, ix), true)
+	pts := httptest.NewServer(proxy)
+	defer pts.Close()
+	f, front := frontFor(t, Config{
+		Shards: [][]string{{pts.URL}}, Timeout: 10 * time.Second,
+	})
+
+	req := serve.SearchRequest{Vector: vecs[0], K: 5, Probes: 2}
+	const followers = 3
+	type reply struct {
+		status int
+		body   []byte
+	}
+	replies := make(chan reply, followers+1)
+	var wg sync.WaitGroup
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body := rawPost(t, front.URL+"/search", req)
+			replies <- reply{status, body}
+		}()
+	}
+
+	// Leader first; wait until it is parked inside the gated backend so
+	// the followers below provably overlap it.
+	launch()
+	select {
+	case <-proxy.arrived:
+	case <-time.After(5 * time.Second):
+		close(proxy.release)
+		t.Fatal("leader request never reached the backend")
+	}
+	for i := 0; i < followers; i++ {
+		launch()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.coalesced.Value() < followers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	joined := f.coalesced.Value()
+	close(proxy.release)
+	wg.Wait()
+	close(replies)
+
+	if joined < followers {
+		t.Fatalf("only %d/%d followers coalesced onto the in-flight leader", joined, followers)
+	}
+	if n := proxy.searches.Load(); n != 1 {
+		t.Fatalf("backend saw %d /search requests, want exactly 1", n)
+	}
+	var firstBody []byte
+	for rep := range replies {
+		if rep.status != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", rep.status, rep.body)
+		}
+		if firstBody == nil {
+			firstBody = rep.body
+			continue
+		}
+		if !bytes.Equal(rep.body, firstBody) {
+			t.Fatalf("coalesced answers differ:\n%s\nvs\n%s", firstBody, rep.body)
+		}
+	}
+	if firstBody == nil {
+		t.Fatal("no replies collected")
+	}
+}
+
+// TestCacheHitAndInvalidation pins the result cache's whole lifecycle:
+// a repeat query is served without backend traffic, a backend /reload
+// (generation bump seen by the next health probe) drops every entry, and
+// a write routed through the front does too.
+func TestCacheHitAndInvalidation(t *testing.T) {
+	vecs := corpusRows(t, 139, 300, 8)
+	ix := buildIndex(t, vecs)
+	backend := backendFor(t, ix)
+	proxy := newCountProxy(backend, false)
+	pts := httptest.NewServer(proxy)
+	defer pts.Close()
+	f, front := frontFor(t, Config{Shards: [][]string{{pts.URL}}, CacheSize: 8})
+
+	req := serve.SearchRequest{Vector: vecs[0], K: 5, Probes: 2}
+	status, body1 := rawPost(t, front.URL+"/search", req)
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body1)
+	}
+	if n := proxy.searches.Load(); n != 1 {
+		t.Fatalf("first query: %d backend searches, want 1", n)
+	}
+
+	// Hit: same query, zero new backend traffic, byte-identical body.
+	status, body2 := rawPost(t, front.URL+"/search", req)
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body2)
+	}
+	if n := proxy.searches.Load(); n != 1 {
+		t.Fatalf("cached query still reached the backend (%d searches)", n)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cache hit body differs:\n%s\nvs\n%s", body1, body2)
+	}
+	if f.cacheHits.Value() != 1 || f.cacheMisses.Value() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", f.cacheHits.Value(), f.cacheMisses.Value())
+	}
+
+	// /reload bumps the backend generation; the next health probe must
+	// invalidate the cache even though ids and data are unchanged.
+	resp := postJSON(t, backend.URL+"/save", serve.SaveRequest{Path: "snap.usp"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("save: HTTP %d", resp.StatusCode)
+	}
+	resp = postJSON(t, backend.URL+"/reload", serve.ReloadRequest{Path: "snap.usp"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: HTTP %d", resp.StatusCode)
+	}
+	genBefore := f.cacheGen.Load()
+	f.ProbeHealth(context.Background())
+	if f.cacheGen.Load() == genBefore {
+		t.Fatal("health probe did not observe the reload's generation bump")
+	}
+	status, _ = rawPost(t, front.URL+"/search", req)
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d after reload", status)
+	}
+	if n := proxy.searches.Load(); n != 2 {
+		t.Fatalf("post-reload query: %d backend searches, want 2 (cache must miss)", n)
+	}
+
+	// A routed /add invalidates immediately — no probe needed.
+	status, addBody := rawPost(t, front.URL+"/add", serve.AddRequest{Vector: vecs[1]})
+	if status != http.StatusOK {
+		t.Fatalf("routed add: HTTP %d: %s", status, addBody)
+	}
+	status, _ = rawPost(t, front.URL+"/search", req)
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d after add", status)
+	}
+	if n := proxy.searches.Load(); n != 3 {
+		t.Fatalf("post-add query: %d backend searches, want 3 (cache must miss)", n)
+	}
+
+	// The new series are exposed on the front's scrape.
+	body := readBody(t, mustGet(t, front.URL+"/metrics"))
+	for _, series := range []string{
+		"front_cache_hits_total 1",
+		"front_coalesced_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("series %q missing from scrape:\n%s", series, body)
+		}
+	}
+}
+
+func readBody(t testing.TB, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

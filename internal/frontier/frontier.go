@@ -54,6 +54,11 @@ type Config struct {
 	MaxInFlight int
 	// HealthInterval is the background health-probe period (default 2s).
 	HealthInterval time.Duration
+	// CacheSize enables the front's LRU result cache with room for that
+	// many merged answers (0 disables it). Entries are invalidated in
+	// bulk whenever any backend's snapshot generation or id offset
+	// changes, or when this front routes a write — see coalesce.go.
+	CacheSize int
 	// Client issues backend requests (default: http.Client with sane
 	// connection pooling).
 	Client *http.Client
@@ -64,9 +69,22 @@ type backend struct {
 	url     string
 	healthy atomic.Bool
 	// idOffset is the backend's global id base as last reported by
-	// /healthz. It is observability-only: merging always uses the offset
-	// carried on each search response, which cannot go stale.
+	// /healthz. Merging always uses the offset carried on each search
+	// response (which cannot go stale); the probed value routes /delete
+	// and keys cache invalidation.
 	idOffset atomic.Int64
+	// generation is the backend's snapshot generation as last probed; a
+	// change means the backend reloaded and cached answers may be stale.
+	generation atomic.Uint64
+	// vectors is the backend's live row count as last probed, advanced
+	// optimistically by routed adds; it drives least-rows add placement.
+	vectors atomic.Int64
+	// rows is the backend's dataset row count including deleted rows —
+	// the next local id its Add would assign — as last probed, advanced
+	// optimistically by routed adds; offset+rows is the next global id
+	// this shard would mint, which gates add placement against id-range
+	// collisions with the following shard.
+	rows atomic.Int64
 
 	reqs *telemetry.Counter
 	errs *telemetry.Counter
@@ -112,6 +130,17 @@ type Front struct {
 	retries  *telemetry.Counter
 	rejected *telemetry.Counter
 
+	// Coalescing + caching state (see coalesce.go). cacheGen is the
+	// front-wide cache generation: bumped whenever any backend reloads
+	// or this front routes a write, invalidating every cache entry.
+	flightMu    sync.Mutex
+	flights     map[string]*flight
+	cache       *resultCache // nil when Config.CacheSize == 0
+	cacheGen    atomic.Uint64
+	coalesced   *telemetry.Counter
+	cacheHits   *telemetry.Counter
+	cacheMisses *telemetry.Counter
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -137,14 +166,18 @@ func New(cfg Config) (*Front, error) {
 		cfg.HealthInterval = 2 * time.Second
 	}
 	f := &Front{
-		cfg:    cfg,
-		client: cfg.Client,
-		sem:    make(chan struct{}, cfg.MaxInFlight),
-		reg:    telemetry.NewRegistry(),
-		stop:   make(chan struct{}),
+		cfg:     cfg,
+		client:  cfg.Client,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		reg:     telemetry.NewRegistry(),
+		flights: make(map[string]*flight),
+		stop:    make(chan struct{}),
 	}
 	if f.client == nil {
 		f.client = &http.Client{}
+	}
+	if cfg.CacheSize > 0 {
+		f.cache = newResultCache(cfg.CacheSize)
 	}
 	f.fanout = f.reg.Counter("front_fanout_total", "",
 		"Backend requests fanned out, across all shard groups.")
@@ -152,6 +185,12 @@ func New(cfg Config) (*Front, error) {
 		"Backend requests retried against a sibling replica after a 5xx or transport failure.")
 	f.rejected = f.reg.Counter("front_rejected_total", "",
 		"Front requests shed with 429 because the in-flight limit was reached.")
+	f.coalesced = f.reg.Counter("front_coalesced_total", "",
+		"Search requests that joined an identical in-flight request instead of fanning out.")
+	f.cacheHits = f.reg.Counter("front_cache_hits_total", "",
+		"Search requests answered from the front's result cache.")
+	f.cacheMisses = f.reg.Counter("front_cache_misses_total", "",
+		"Cache-enabled search requests that missed and fanned out.")
 	healthy := 0
 	for _, urls := range cfg.Shards {
 		g := &group{}
@@ -237,7 +276,16 @@ func (f *Front) ProbeHealth(ctx context.Context) {
 					b.healthy.Store(false)
 					return
 				}
-				b.idOffset.Store(int64(hz.IDOffset))
+				// A new snapshot generation or id offset means the
+				// backend's answers may have changed: invalidate the
+				// front's result cache by bumping the generation.
+				genChanged := b.generation.Swap(hz.Generation) != hz.Generation
+				offChanged := b.idOffset.Swap(int64(hz.IDOffset)) != int64(hz.IDOffset)
+				if genChanged || offChanged {
+					f.cacheGen.Add(1)
+				}
+				b.vectors.Store(int64(hz.Vectors))
+				b.rows.Store(int64(hz.Rows))
 				b.healthy.Store(true)
 			}(b)
 		}
@@ -252,6 +300,8 @@ func (f *Front) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", hm.Wrap("/search", f.handleSearch))
 	mux.HandleFunc("/search/batch", hm.Wrap("/search/batch", f.handleSearchBatch))
+	mux.HandleFunc("/add", hm.Wrap("/add", f.handleAdd))
+	mux.HandleFunc("/delete", hm.Wrap("/delete", f.handleDelete))
 	mux.HandleFunc("/healthz", f.handleHealthz)
 	mux.Handle("/metrics", telemetry.Handler(f.reg))
 	return mux
@@ -387,6 +437,53 @@ func (f *Front) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	key := searchKey(req.Vector, req.K, req.Probes, req.RerankK)
+	gen := f.cacheGen.Load()
+	if f.cache != nil {
+		if resp, ok := f.cache.get(key, gen); ok {
+			f.cacheHits.Inc()
+			writeJSON(w, resp)
+			return
+		}
+		f.cacheMisses.Inc()
+	}
+
+	fl, leader := f.joinFlight(key)
+	if !leader {
+		// An identical request is already fanning out; share its answer.
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				writeFanoutError(w, fl.err)
+				return
+			}
+			writeJSON(w, fl.resp)
+		case <-r.Context().Done():
+			http.Error(w, "client gone: "+r.Context().Err().Error(), http.StatusServiceUnavailable)
+		}
+		return
+	}
+
+	// Leader: run the fan-out detached from this request's context so a
+	// leader disconnect cannot fail the coalesced followers (callBackend
+	// still bounds every backend call with the configured timeout).
+	resp, err := f.fanoutSearch(context.WithoutCancel(r.Context()), body, req.K)
+	if err == nil && f.cache != nil && f.cacheGen.Load() == gen {
+		// Fill only if no reload/write invalidated the fleet while the
+		// fan-out ran; a racing bump makes this answer unsafe to keep.
+		f.cache.put(key, gen, resp)
+	}
+	f.finishFlight(key, fl, resp, err)
+	if err != nil {
+		writeFanoutError(w, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// fanoutSearch sends one validated, marshalled /search body to every
+// shard group and merges the per-shard top-k into the global answer.
+func (f *Front) fanoutSearch(ctx context.Context, body []byte, k int) (serve.SearchResponse, error) {
 	start := time.Now()
 	answers := make([]shardAnswer, len(f.groups))
 	var wg sync.WaitGroup
@@ -394,7 +491,7 @@ func (f *Front) handleSearch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(gi int, g *group) {
 			defer wg.Done()
-			answers[gi].err = f.askGroup(r.Context(), g, "/search", body, &answers[gi].resp)
+			answers[gi].err = f.askGroup(ctx, g, "/search", body, &answers[gi].resp)
 		}(gi, g)
 	}
 	wg.Wait()
@@ -403,8 +500,7 @@ func (f *Front) handleSearch(w http.ResponseWriter, r *http.Request) {
 	lists := make([][]vecmath.Neighbor, len(answers))
 	for gi, a := range answers {
 		if a.err != nil {
-			writeFanoutError(w, a.err)
-			return
+			return serve.SearchResponse{}, a.err
 		}
 		scanned += a.resp.Scanned
 		ns := make([]vecmath.Neighbor, len(a.resp.IDs))
@@ -413,13 +509,13 @@ func (f *Front) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		lists[gi] = ns
 	}
-	merged := vecmath.MergeSortedNeighbors(nil, req.K, lists...)
+	merged := vecmath.MergeSortedNeighbors(nil, k, lists...)
 	resp := serve.SearchResponse{Scanned: scanned, Elapsed: time.Since(start).String()}
 	for _, n := range merged {
 		resp.IDs = append(resp.IDs, n.Index)
 		resp.Distances = append(resp.Distances, n.Dist)
 	}
-	writeJSON(w, resp)
+	return resp, nil
 }
 
 // batchAnswer is one group's reply to a fanned-out /search/batch.

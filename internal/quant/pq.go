@@ -234,6 +234,33 @@ func (pq *PQ) AppendLUT(dst []float32, q []float32) []float32 {
 	return dst
 }
 
+// AppendLUTBatch appends the flat ADC tables of every query to dst back to
+// back — query i's table occupies the Subspaces*K stride starting at
+// i*Subspaces*K — and returns the extended slice. The batched build
+// iterates centroid-major: each codebook row is scored against every
+// query's segment before moving to the next centroid, so a centroid's
+// cache lines are reused across the whole batch instead of being refetched
+// per query. Every entry is the identical vecmath.SquaredL2 call AppendLUT
+// performs, so each query's table is bit-identical to a per-query
+// AppendLUT. It allocates only when dst lacks capacity.
+func (pq *PQ) AppendLUTBatch(dst []float32, queries [][]float32) []float32 {
+	n := len(dst)
+	stride := pq.Subspaces * pq.K
+	dst = append(dst, make([]float32, len(queries)*stride)...)
+	flat := dst[n:] // pre-zeroed, so short codebooks need no explicit padding
+	for s := 0; s < pq.Subspaces; s++ {
+		lo, hi := pq.Bounds[s], pq.Bounds[s+1]
+		cb := pq.Codebooks[s]
+		for c := 0; c < cb.N; c++ {
+			crow := cb.Row(c)
+			for qi, q := range queries {
+				flat[qi*stride+s*pq.K+c] = vecmath.SquaredL2(q[lo:hi], crow)
+			}
+		}
+	}
+	return dst
+}
+
 // Distance evaluates the asymmetric (query-to-code) squared distance via the
 // lookup table: one add per subspace.
 func (lut LUT) Distance(code []uint8) float32 {

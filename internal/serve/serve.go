@@ -87,9 +87,13 @@ type AddRequest struct {
 	Vector []float32 `json:"vector"`
 }
 
-// AddResponse returns the id assigned to the added vector.
+// AddResponse returns the id assigned to the added vector. ID is local to
+// this backend; IDOffset is the backend's global id base, so a routing
+// front (or any client) computes the global id as ID + IDOffset without a
+// separate health probe.
 type AddResponse struct {
-	ID int `json:"id"`
+	ID       int `json:"id"`
+	IDOffset int `json:"id_offset"`
 }
 
 // DeleteRequest is the body of POST /delete.
@@ -132,11 +136,15 @@ type ReloadResponse struct {
 
 // HealthzResponse is the body of GET /healthz. The fan-out front reads
 // IDOffset to map this backend's local result ids into the global id
-// space, and Generation to observe rolling reloads.
+// space, Generation to observe rolling reloads, and Rows — the dataset
+// row count including deleted rows, i.e. the next local id Add would
+// assign — to judge whether this shard can grow without its global ids
+// colliding with the next shard's range.
 type HealthzResponse struct {
 	Status          string  `json:"status"`
 	IndexLoaded     bool    `json:"index_loaded"`
 	Vectors         int     `json:"vectors"`
+	Rows            int     `json:"rows"`
 	Dim             int     `json:"dim"`
 	IDOffset        int     `json:"id_offset"`
 	Generation      uint64  `json:"generation"`
@@ -158,6 +166,19 @@ type Config struct {
 	RerankK int
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
+	// BatchWindow enables the dynamic micro-batch scheduler for /search
+	// when positive: concurrent requests are aggregated for up to this long
+	// (order ~100–500µs) and executed as one staged SearchBatch. 0 disables
+	// the scheduler entirely. A request with no concurrent company is
+	// flushed immediately — it never waits the window — so enabling
+	// batching leaves single-client latency essentially unchanged.
+	BatchWindow time.Duration
+	// BatchMax caps requests per micro-batch (0 = 64).
+	BatchMax int
+	// BatchQueue bounds the admission queue (0 = 4×BatchMax). Requests
+	// arriving while it is full fall back to direct execution rather than
+	// erroring.
+	BatchQueue int
 }
 
 // engine bundles an index with its searcher pool. It is published as a
@@ -185,16 +206,43 @@ type Server struct {
 	gen     atomic.Uint64 // /reload count; 0 until the first swap
 	reg     *telemetry.Registry
 	started time.Time
+	// batch is the /search micro-batch scheduler (nil when disabled);
+	// inflight counts concurrent /search requests so the collector can
+	// flush immediately once every in-flight request is already in the
+	// batch (the latency-preserving fast flush).
+	batch    *batcher
+	inflight atomic.Int64
 }
 
-// New returns a Server serving ix under cfg.
+// New returns a Server serving ix under cfg. If cfg enables micro-batching,
+// Close must be called to stop the scheduler goroutine.
 func New(ix *usp.Index, cfg Config) *Server {
 	if cfg.DataDir == "" {
 		cfg.DataDir = "."
 	}
 	s := &Server{cfg: cfg, reg: telemetry.NewRegistry(), started: time.Now()}
 	s.eng.Store(newEngine(ix))
+	if cfg.BatchWindow > 0 {
+		max := cfg.BatchMax
+		if max <= 0 {
+			max = 64
+		}
+		queueLen := cfg.BatchQueue
+		if queueLen <= 0 {
+			queueLen = 4 * max
+		}
+		s.batch = newBatcher(s, max, queueLen, cfg.BatchWindow)
+	}
 	return s
+}
+
+// Close stops the micro-batch scheduler, answering everything it already
+// admitted. Call it after the HTTP server has drained; it is a no-op when
+// batching is disabled, and idempotent.
+func (s *Server) Close() {
+	if s.batch != nil {
+		s.batch.close()
+	}
 }
 
 // Index returns the currently published index (it may change across calls
@@ -300,20 +348,55 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	eng := s.eng.Load()
-	sr := eng.searchers.Get().(*usp.Searcher)
-	defer eng.searchers.Put(sr)
-	res, err := sr.Search(req.Vector, req.K, usp.SearchOptions{Probes: req.Probes, RerankK: s.rerank(req.RerankK)})
+	res, scanned, idOffset, err := s.searchOne(req.Vector, req.K, req.Probes, s.rerank(req.RerankK))
 	if err != nil {
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
-	resp := SearchResponse{IDOffset: eng.ix.IDOffset(), Scanned: sr.Scanned(), Elapsed: time.Since(start).String()}
+	resp := SearchResponse{IDOffset: idOffset, Scanned: scanned, Elapsed: time.Since(start).String()}
 	for _, n := range res {
 		resp.IDs = append(resp.IDs, n.ID)
 		resp.Distances = append(resp.Distances, n.Distance)
 	}
 	writeJSON(w, resp)
+}
+
+// searchOne executes one search through the micro-batching policy: with the
+// scheduler enabled, every request enqueues and the collector decides how
+// long to gather — a request with no concurrent company flushes immediately
+// (two channel handoffs of added latency, never the window), while
+// overlapping requests aggregate into staged SearchBatch executions. A
+// request the scheduler cannot admit (queue full, shutting down) runs
+// directly against a pooled Searcher. All paths return bit-identical
+// results. rerankK must already be resolved against the server default.
+func (s *Server) searchOne(vec []float32, k, probes, rerankK int) ([]usp.Result, int, int, error) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.batch != nil {
+		if out, ok := s.batch.submit(vec, k, probes, rerankK); ok {
+			if out.err != nil {
+				return nil, 0, 0, out.err
+			}
+			return out.res, out.scanned, out.eng.ix.IDOffset(), nil
+		}
+	}
+	eng := s.eng.Load()
+	sr := eng.searchers.Get().(*usp.Searcher)
+	defer eng.searchers.Put(sr)
+	res, err := sr.Search(vec, k, usp.SearchOptions{Probes: probes, RerankK: rerankK})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, sr.Scanned(), eng.ix.IDOffset(), nil
+}
+
+// Search answers one query through the same policy as POST /search —
+// micro-batched under concurrency, direct when alone — without the HTTP and
+// JSON layers. The in-process benchmarks use it to measure the scheduler's
+// aggregation effect in isolation.
+func (s *Server) Search(vec []float32, k, probes, rerankK int) ([]usp.Result, int, error) {
+	res, scanned, _, err := s.searchOne(vec, k, probes, s.rerank(rerankK))
+	return res, scanned, err
 }
 
 func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
@@ -369,7 +452,7 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), statusFor(err))
 		return
 	}
-	writeJSON(w, AddResponse{ID: id})
+	writeJSON(w, AddResponse{ID: id, IDOffset: s.eng.Load().ix.IDOffset()})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -502,6 +585,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:          "ok",
 		IndexLoaded:     true,
 		Vectors:         ix.Len(),
+		Rows:            ix.Lifecycle().Rows,
 		Dim:             ix.Dim(),
 		IDOffset:        ix.IDOffset(),
 		Generation:      s.gen.Load(),

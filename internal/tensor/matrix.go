@@ -116,21 +116,38 @@ func MatMul(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
+	// Small operands run inline: par.ForChunks would execute them on the
+	// calling goroutine anyway, and skipping it keeps the micro-batched
+	// inference path free of the escaping-closure allocation (the batched
+	// query path is 0-allocs/op-gated in CI).
+	if a.Rows < seqRowThreshold || par.Workers() == 1 {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
 	par.ForChunks(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for x := range drow {
-				drow[x] = 0
-			}
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				vecmath.AXPY(av, b.Row(k), drow)
-			}
-		}
+		matMulRows(dst, a, b, lo, hi)
 	})
+}
+
+// seqRowThreshold mirrors par's sequential-fallback span: row counts below
+// it would not be split across goroutines, so the parallel dispatch (and its
+// closure) is pure overhead.
+const seqRowThreshold = 1024
+
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for x := range drow {
+			drow[x] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			vecmath.AXPY(av, b.Row(k), drow)
+		}
+	}
 }
 
 // MatMulATB computes dst = aᵀ · b without materializing the transpose.
@@ -183,14 +200,22 @@ func AddRowVector(m *Matrix, vec []float32) {
 	if len(vec) != m.Cols {
 		panic("tensor: AddRowVector length mismatch")
 	}
+	if m.Rows < seqRowThreshold || par.Workers() == 1 {
+		addRowVectorRows(m, vec, 0, m.Rows)
+		return
+	}
 	par.ForChunks(m.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			for j, v := range vec {
-				row[j] += v
-			}
-		}
+		addRowVectorRows(m, vec, lo, hi)
 	})
+}
+
+func addRowVectorRows(m *Matrix, vec []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := m.Row(i)
+		for j, v := range vec {
+			row[j] += v
+		}
+	}
 }
 
 // ColSums accumulates the per-column sums of m into dst (float64 accumulate,

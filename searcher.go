@@ -2,7 +2,6 @@ package usp
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -38,6 +37,10 @@ type Searcher struct {
 	adc     []vecmath.Neighbor
 	rerank  []int32
 	codeBuf []uint8
+	// Batched-path scratch: the staged-chunk routing buffers and the flat
+	// per-chunk ADC table arena of the quantized batch path.
+	bs       core.BatchScratch
+	lutArena []float32
 }
 
 // NewSearcher returns a fresh query context for the index. Buffers grow on
@@ -127,11 +130,19 @@ func (s *Searcher) SearchInto(dst []Result, q []float32, k int, opt SearchOption
 // distance only up to quantization error. All scratch lives on s, so
 // steady-state the scan allocates nothing.
 func (s *Searcher) scanQuantized(ep *epoch, q []float32, k, rerankK int) int {
+	s.lut = ep.quant.pq.AppendLUT(s.lut[:0], q)
+	return s.scanQuantizedLUT(ep, q, k, rerankK, s.lut)
+}
+
+// scanQuantizedLUT is scanQuantized with a caller-provided ADC table — the
+// batched path builds the whole chunk's tables in one AppendLUTBatch call
+// and hands each query its slice of the arena. The table bits are identical
+// either way, so the scan result is too.
+func (s *Searcher) scanQuantizedLUT(ep *epoch, q []float32, k, rerankK int, lut []float32) int {
 	qv := ep.quant
 	m, kTab := qv.pq.Subspaces, qv.pq.K
-	s.lut = qv.pq.AppendLUT(s.lut[:0], q)
 	if rerankK < 0 || qv.tight {
-		s.nbrs, s.skipped = knn.SearchSubsetADCIntoCounted(s.nbrs[:0], qv.codes, m, kTab, s.lut, s.cands, k, s.tk, ep.tombs)
+		s.nbrs, s.skipped = knn.SearchSubsetADCIntoCounted(s.nbrs[:0], qv.codes, m, kTab, lut, s.cands, k, s.tk, ep.tombs)
 		return 0
 	}
 	if rerankK == 0 {
@@ -140,7 +151,7 @@ func (s *Searcher) scanQuantized(ep *epoch, q []float32, k, rerankK int) int {
 	if rerankK < k {
 		rerankK = k
 	}
-	s.adc, s.skipped = knn.SearchSubsetADCIntoCounted(s.adc[:0], qv.codes, m, kTab, s.lut, s.cands, rerankK, s.tk, ep.tombs)
+	s.adc, s.skipped = knn.SearchSubsetADCIntoCounted(s.adc[:0], qv.codes, m, kTab, lut, s.cands, rerankK, s.tk, ep.tombs)
 	s.rerank = s.rerank[:0]
 	for _, nb := range s.adc {
 		s.rerank = append(s.rerank, int32(nb.Index))
@@ -186,12 +197,45 @@ func (ix *Index) getSearcher() *Searcher {
 
 func (ix *Index) putSearcher(s *Searcher) { ix.searchers.Put(s) }
 
-// SearchBatch answers many queries in one call, fanning the batch out over
-// the worker pool with one pooled Searcher per worker. Results align with
-// queries by position and agree exactly with looped single Search calls.
+// Batched-pipeline staging sizes. The forward chunk bounds the staged query
+// matrix and per-member probability matrices; the quantized chunk is smaller
+// because each staged query additionally owns a Subspaces×K ADC table in the
+// worker's LUT arena.
+const (
+	batchForwardChunk = 256
+	batchQuantChunk   = 32
+)
+
+// SearchBatch answers many queries in one call as a staged pipeline: the
+// batch fans out over the worker pool, and each worker processes its span in
+// staged chunks — one batched routing forward pass for the whole chunk (one
+// dispatched MatMul per Dense layer instead of a per-query AXPY loop; on the
+// quantized path, one batched ADC-table build), then a per-query candidate
+// gather + scan through the worker's pooled scratch. Results align with
+// queries by position and are bit-identical to looped single Search calls:
+// batch and single-row inference share the same dispatched microkernels and
+// accumulation order (pinned by TestSearchBatchBitIdentical).
+//
 // It is safe to call concurrently with Search, Add, Delete, and compaction;
-// each query in the batch resolves its own epoch snapshot.
+// each staged chunk resolves one epoch snapshot, so a chunk observes either
+// all or none of any concurrent mutation.
 func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions) ([][]Result, error) {
+	return ix.searchBatch(queries, k, opt, nil)
+}
+
+// SearchBatchScanned is SearchBatch plus each query's candidate-set size
+// |C(q)| (the per-query Searcher.Scanned value), which the serving tier
+// reports per response.
+func (ix *Index) SearchBatchScanned(queries [][]float32, k int, opt SearchOptions) ([][]Result, []int, error) {
+	scanned := make([]int, len(queries))
+	out, err := ix.searchBatch(queries, k, opt, scanned)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, scanned, nil
+}
+
+func (ix *Index) searchBatch(queries [][]float32, k int, opt SearchOptions, scanned []int) ([][]Result, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("%w: k must be positive", ErrInvalid)
 	}
@@ -201,24 +245,108 @@ func (ix *Index) SearchBatch(queries [][]float32, k int, opt SearchOptions) ([][
 		}
 	}
 	out := make([][]Result, len(queries))
-	var firstErr atomic.Pointer[error]
 	par.ForChunksMin(len(queries), 1, func(lo, hi int) {
 		s := ix.getSearcher()
 		defer ix.putSearcher(s)
-		for i := lo; i < hi; i++ {
-			// k and every dim were validated above, so errors should be
-			// impossible — but if Search ever grows a new failure mode,
-			// propagate it rather than silently returning a nil row.
-			res, err := s.Search(queries[i], k, opt)
-			if err != nil {
-				firstErr.CompareAndSwap(nil, &err)
-				return
+		// One flat result arena per worker, resliced into the output rows:
+		// each query appends at most k results, so the arena never regrows
+		// and the batch path performs no per-query allocation.
+		arena := make([]Result, 0, (hi-lo)*k)
+		for clo := lo; clo < hi; {
+			ep := s.ix.live.Load()
+			step := batchForwardChunk
+			if ep.quant != nil {
+				step = batchQuantChunk
 			}
-			out[i] = res
+			chi := clo + step
+			if chi > hi {
+				chi = hi
+			}
+			arena = s.searchChunk(ep, queries[clo:chi], k, opt, out[clo:chi], arena, scannedTail(scanned, clo, chi))
+			clo = chi
 		}
 	})
-	if errp := firstErr.Load(); errp != nil {
-		return nil, *errp
-	}
 	return out, nil
+}
+
+func scannedTail(scanned []int, lo, hi int) []int {
+	if scanned == nil {
+		return nil
+	}
+	return scanned[lo:hi]
+}
+
+// searchChunk runs the staged pipeline for one chunk against one epoch
+// snapshot: stage the chunk's rows into the scratch matrix, run the batched
+// routing forward pass (and, quantized, the batched ADC-table build), then
+// gather + scan each query with the single-query scratch, appending results
+// to the arena and reslicing out[i] from it.
+func (s *Searcher) searchChunk(ep *epoch, queries [][]float32, k int, opt SearchOptions, out [][]Result, arena []Result, scanned []int) []Result {
+	ix := s.ix
+	probes := opt.Probes
+	if probes <= 0 {
+		probes = 1
+	}
+	mode := core.BestConfidence
+	if opt.UnionEnsemble {
+		mode = core.UnionProbe
+	}
+	start := time.Now()
+
+	// Stage the chunk and run the whole chunk's routing inference at once.
+	buf := s.bs.Stage(len(queries), ix.dim)
+	for i, q := range queries {
+		copy(buf[i*ix.dim:(i+1)*ix.dim], q)
+	}
+	if ep.hier != nil {
+		ep.hier.RouteBatch(&s.bs)
+	} else {
+		ep.ens.RouteBatch(&s.bs, mode)
+	}
+	lutStride := 0
+	if qv := ep.quant; qv != nil {
+		lutStride = qv.pq.Subspaces * qv.pq.K
+		s.lutArena = qv.pq.AppendLUTBatch(s.lutArena[:0], queries)
+	}
+
+	m := ix.tel
+	binsProbed := uint64(ix.probedBins(probes, opt.UnionEnsemble))
+	for i, q := range queries {
+		s.cands = s.cands[:0]
+		if ep.hier != nil {
+			s.cands = ep.hier.AppendCandidatesRowBatch(s.cands, i, probes, &s.bs, ep.extra())
+		} else {
+			s.cands = ep.ens.AppendCandidatesRowBatch(s.cands, i, probes, mode, &s.bs, ep.data.N, ep.extra())
+		}
+		rerankDepth := 0
+		if ep.quant != nil {
+			rerankDepth = s.scanQuantizedLUT(ep, q, k, opt.RerankK, s.lutArena[i*lutStride:(i+1)*lutStride])
+		} else {
+			s.nbrs, s.skipped = knn.SearchSubsetIntoCounted(s.nbrs[:0], ep.data, s.cands, q, k, s.tk, ep.tombs)
+		}
+		mark := len(arena)
+		for _, n := range s.nbrs {
+			arena = append(arena, Result{ID: n.Index, Distance: n.Dist})
+		}
+		out[i] = arena[mark:len(arena):len(arena)]
+		if scanned != nil {
+			scanned[i] = len(s.cands)
+		}
+		m.queries.Inc()
+		m.candidates.Add(uint64(len(s.cands)))
+		m.binsProbed.Add(binsProbed)
+		m.tombstonesSkipped.Add(uint64(s.skipped))
+		if ep.quant != nil {
+			m.adcQueries.Inc()
+			m.rerankCandidates.Add(uint64(rerankDepth))
+		}
+	}
+	// Latency telemetry: each query's recorded latency is its amortized
+	// share of the chunk, keeping usp_query_latency's count aligned with
+	// usp_queries_total while reflecting the batch's amortization.
+	per := time.Since(start) / time.Duration(len(queries))
+	for range queries {
+		m.queryLatency.ObserveDuration(per)
+	}
+	return arena
 }
